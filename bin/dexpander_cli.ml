@@ -1,0 +1,178 @@
+(* dexpander — command-line front end.
+
+   Subcommands:
+     generate    describe a generated graph
+     decompose   run the (ε, φ)-expander decomposition (Theorem 1)
+     sparse-cut  run the nearly most balanced sparse cut (Theorem 3)
+     ldd         run the low-diameter decomposition (Theorem 4)
+     triangles   enumerate triangles via expander decomposition (Theorem 2)
+
+   Graphs are generated on demand: --family gnp/sbm/barbell/dumbbell/
+   grid/powerlaw/regular/cliques/tree/cycle/path, with family-specific
+   knobs — or loaded from an edge-list file with --file. *)
+
+open Cmdliner
+module X = Dexpander
+
+let make_graph ~family ~file ~n ~seed ~p ~parts ~p_in ~p_out ~degree =
+  let rng = X.Rng.create (seed + 7919) in
+  let g =
+    match file with
+    | Some path -> X.Graph_io.load path
+    | None ->
+    match family with
+    | "gnp" -> X.Generators.gnp rng ~n ~p
+    | "sbm" ->
+      let size = max 1 (n / max 1 parts) in
+      X.Generators.planted_partition rng ~parts ~size ~p_in ~p_out
+    | "barbell" -> X.Generators.barbell ~clique:(max 2 (n / 2)) ~bridge:(max 0 (n mod 2))
+    | "dumbbell" ->
+      X.Generators.dumbbell rng ~n1:(n / 2) ~n2:(n - (n / 2)) ~d:degree ~bridges:2
+    | "grid" ->
+      let side = max 1 (int_of_float (sqrt (float_of_int n))) in
+      X.Generators.grid side side
+    | "powerlaw" -> X.Generators.chung_lu rng ~n ~exponent:2.5 ~avg_degree:(float_of_int degree)
+    | "regular" -> X.Generators.random_regular rng ~n ~d:degree
+    | "cliques" -> X.Generators.cliques_chain ~cliques:(max 1 (n / 16)) ~size:16
+    | "cycle" -> X.Generators.cycle (max 3 n)
+    | "path" -> X.Generators.path (max 1 n)
+    | "tree" ->
+      let depth = max 1 (int_of_float (log (float_of_int (max 2 n)) /. log 2.0) - 1) in
+      X.Generators.binary_tree depth
+    | other -> failwith (Printf.sprintf "unknown graph family %S" other)
+  in
+  X.Generators.connectivize rng g
+
+let describe g =
+  Printf.printf "graph: n=%d m=%d (plain %d), degeneracy=%d, connected=%b\n"
+    (X.Graph.num_vertices g) (X.Graph.num_edges g) (X.Graph.num_plain_edges g)
+    (X.Metrics.degeneracy g)
+    (X.Metrics.is_connected g)
+
+(* shared options *)
+let family_t =
+  Arg.(value & opt string "sbm" & info [ "family"; "f" ] ~docv:"FAMILY" ~doc:"Graph family.")
+
+let file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file" ] ~docv:"PATH" ~doc:"Load the graph from an edge-list file instead of generating one.")
+
+let n_t = Arg.(value & opt int 240 & info [ "n" ] ~docv:"N" ~doc:"Vertex count (approximate).")
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+let p_t = Arg.(value & opt float 0.1 & info [ "p" ] ~docv:"P" ~doc:"G(n,p) edge probability.")
+let parts_t = Arg.(value & opt int 4 & info [ "parts" ] ~doc:"SBM block count.")
+let p_in_t = Arg.(value & opt float 0.3 & info [ "p-in" ] ~doc:"SBM intra-block probability.")
+let p_out_t = Arg.(value & opt float 0.01 & info [ "p-out" ] ~doc:"SBM inter-block probability.")
+let degree_t = Arg.(value & opt int 8 & info [ "degree"; "d" ] ~doc:"Degree for regular-ish families.")
+let epsilon_t = Arg.(value & opt float (1.0 /. 6.0) & info [ "epsilon"; "e" ] ~doc:"Target inter-cluster edge fraction.")
+let k_t = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Phase-2 level count (Theorem 1 trade-off).")
+let phi_t = Arg.(value & opt float 0.05 & info [ "phi" ] ~doc:"Sparse-cut conductance parameter.")
+let beta_t = Arg.(value & opt float 0.1 & info [ "beta" ] ~doc:"LDD parameter.")
+
+let graph_of family file n seed p parts p_in p_out degree =
+  make_graph ~family ~file ~n ~seed ~p ~parts ~p_in ~p_out ~degree
+
+let generate_cmd =
+  let run family file n seed p parts p_in p_out degree =
+    describe (graph_of family file n seed p parts p_in p_out degree)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a graph and print its statistics.")
+    Term.(const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t $ degree_t)
+
+let decompose_cmd =
+  let run family file n seed p parts p_in p_out degree epsilon k =
+    let g = graph_of family file n seed p parts p_in p_out degree in
+    describe g;
+    let r = X.decompose ~epsilon ~k g ~seed in
+    Printf.printf
+      "decomposition: parts=%d removed=%.2f%% (target %.2f%%) rounds=%d depth=%d \
+       phase2=%d partition-calls=%d\n"
+      (List.length r.X.Decomposition.parts)
+      (100.0 *. r.X.Decomposition.edge_fraction_removed)
+      (100.0 *. epsilon)
+      r.X.Decomposition.stats.X.Decomposition.rounds
+      r.X.Decomposition.stats.X.Decomposition.phase1_depth
+      r.X.Decomposition.stats.X.Decomposition.phase2_components
+      r.X.Decomposition.stats.X.Decomposition.partition_calls;
+    List.iteri
+      (fun i part ->
+        if i < 20 then Printf.printf "  part %d: %d vertices\n" i (Array.length part))
+      r.X.Decomposition.parts;
+    if List.length r.X.Decomposition.parts > 20 then
+      Printf.printf "  ... (%d parts total)\n" (List.length r.X.Decomposition.parts);
+    let report = X.Decomposition_verify.check g r (X.Rng.create (seed + 1)) in
+    Printf.printf "verify: partition=%b epsilon-ok=%b min-conductance≥%.4f (target φ=%.4f)\n"
+      report.X.Decomposition_verify.is_partition report.X.Decomposition_verify.epsilon_ok
+      report.X.Decomposition_verify.min_conductance_lower r.X.Decomposition.phi_target
+  in
+  Cmd.v (Cmd.info "decompose" ~doc:"Run the (ε,φ)-expander decomposition (Theorem 1).")
+    Term.(
+      const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
+      $ degree_t $ epsilon_t $ k_t)
+
+let sparse_cut_cmd =
+  let run family file n seed p parts p_in p_out degree phi =
+    let g = graph_of family file n seed p parts p_in p_out degree in
+    describe g;
+    let r = X.sparse_cut ~phi g ~seed in
+    if Array.length r.X.Sparse_cut.cut = 0 then
+      Printf.printf "sparse-cut: none found — graph certified as a φ=%.4f expander\n" phi
+    else
+      Printf.printf "sparse-cut: |C|=%d conductance=%.4f balance=%.4f rounds=%d\n"
+        (Array.length r.X.Sparse_cut.cut)
+        r.X.Sparse_cut.conductance r.X.Sparse_cut.balance r.X.Sparse_cut.rounds
+  in
+  Cmd.v (Cmd.info "sparse-cut" ~doc:"Run the nearly most balanced sparse cut (Theorem 3).")
+    Term.(
+      const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
+      $ degree_t $ phi_t)
+
+let ldd_cmd =
+  let run family file n seed p parts p_in p_out degree beta =
+    let g = graph_of family file n seed p parts p_in p_out degree in
+    describe g;
+    let r = X.low_diameter_decomposition ~beta g ~seed in
+    let m = max 1 (X.Graph.num_edges g) in
+    Printf.printf "ldd: parts=%d cut-edges=%d (%.2f%% of m, budget %.2f%%) rounds=%d\n"
+      (List.length r.X.Ldd.parts)
+      (List.length r.X.Ldd.cut_edges)
+      (100.0 *. float_of_int (List.length r.X.Ldd.cut_edges) /. float_of_int m)
+      (100.0 *. 3.0 *. beta) r.X.Ldd.rounds;
+    Printf.printf "ldd: max part diameter=%d (bound %d)\n"
+      (X.Ldd.max_part_diameter g r)
+      (X.Ldd.diameter_bound ~n:(X.Graph.num_vertices g) ~beta ())
+  in
+  Cmd.v (Cmd.info "ldd" ~doc:"Run the low-diameter decomposition (Theorem 4).")
+    Term.(
+      const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
+      $ degree_t $ beta_t)
+
+let triangles_cmd =
+  let run family file n seed p parts p_in p_out degree epsilon k =
+    let g = graph_of family file n seed p parts p_in p_out degree in
+    describe g;
+    let r = X.enumerate_triangles ~epsilon ~k g ~seed in
+    Printf.printf
+      "triangles: found=%d complete=%b levels=%d total-rounds=%d enumeration-rounds=%d\n"
+      (List.length r.X.Triangle_enum.triangles)
+      r.X.Triangle_enum.complete
+      (List.length r.X.Triangle_enum.levels)
+      r.X.Triangle_enum.total_rounds r.X.Triangle_enum.enumeration_rounds;
+    let nv = X.Graph.num_vertices g in
+    Printf.printf "baselines: trivial=%d dlp-clique=%d izumi-le-gall=%d lower-bound=%d\n"
+      (X.Triangle_baselines.trivial_rounds g)
+      (X.Triangle_baselines.dlp_clique_rounds g (X.Rng.create seed))
+      (X.Triangle_baselines.izumi_le_gall_rounds ~n:nv)
+      (X.Triangle_baselines.lower_bound_rounds ~n:nv)
+  in
+  Cmd.v (Cmd.info "triangles" ~doc:"Enumerate triangles via expander decomposition (Theorem 2).")
+    Term.(
+      const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
+      $ degree_t $ epsilon_t $ k_t)
+
+let () =
+  let doc = "Distributed expander decomposition and triangle enumeration (PODC 2019)" in
+  let info = Cmd.info "dexpander" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; decompose_cmd; sparse_cut_cmd; ldd_cmd; triangles_cmd ]))

@@ -1,0 +1,89 @@
+(* A guided tour of the paper's four theorems on one graph.
+
+   Build & run:  dune exec examples/paper_tour.exe
+
+   The instance is a "social network in two towns": two power-law-ish
+   communities joined by a few long-range edges, with a handful of
+   tightly-knit cliques (families) hanging off. Each theorem is
+   exercised in the order the paper builds them:
+   Theorem 4 (LDD) -> Theorem 3 (sparse cut) -> Theorem 1
+   (decomposition) -> Theorem 2 (triangles). *)
+
+module X = Dexpander
+
+let banner title = Printf.printf "\n--- %s ---\n" title
+
+let () =
+  let seed = 1234 in
+  let rng = X.Rng.create seed in
+
+  (* two 8-regular communities, 3 bridges, 3 family cliques *)
+  let town = X.Generators.dumbbell rng ~n1:90 ~n2:90 ~d:8 ~bridges:3 in
+  let g = X.Generators.attach_warts rng town ~warts:3 ~size:5 in
+  Printf.printf "instance: n = %d, m = %d, degeneracy = %d\n"
+    (X.Graph.num_vertices g) (X.Graph.num_edges g) (X.Metrics.degeneracy g);
+
+  banner "Theorem 4 — low-diameter decomposition";
+  let ldd = X.low_diameter_decomposition ~beta:0.3 g ~seed in
+  Printf.printf
+    "beta = 0.3: %d part(s), %d edges cut, %d simulated rounds\n\
+     (a low-diameter graph may legitimately stay whole: the certified\n\
+     diameter bound is %d and this graph is far below it)\n"
+    (List.length ldd.X.Ldd.parts)
+    (List.length ldd.X.Ldd.cut_edges)
+    ldd.X.Ldd.rounds
+    (X.Ldd.diameter_bound ~n:(X.Graph.num_vertices g) ~beta:0.3 ());
+
+  banner "Theorem 3 — nearly most balanced sparse cut";
+  let cut = X.sparse_cut ~phi:(1.0 /. 16.0) g ~seed in
+  Printf.printf "phi = 1/16: |C| = %d, conductance %.4f, balance %.3f\n"
+    (Array.length cut.X.Sparse_cut.cut)
+    cut.X.Sparse_cut.conductance cut.X.Sparse_cut.balance;
+  Printf.printf
+    "Theorem 3 floor: bal(C) >= min(b/2, 1/48) = %.4f — %s\n"
+    (1.0 /. 48.0)
+    (if cut.X.Sparse_cut.balance >= 1.0 /. 48.0 then "holds" else "VIOLATED");
+  (* contrast with the sweep baseline, which may return a family clique *)
+  (match X.Cut_baselines.spectral g (X.Rng.create (seed + 1)) with
+  | Some c ->
+    Printf.printf "spectral sweep for contrast: conductance %.4f, balance %.3f\n"
+      c.X.Cut_baselines.conductance c.X.Cut_baselines.balance
+  | None -> ());
+
+  banner "Theorem 1 — (epsilon, phi)-expander decomposition";
+  let d = X.decompose ~epsilon:0.3 ~k:2 g ~seed in
+  Printf.printf "epsilon = 0.3, k = 2: %d parts, %.2f%% of edges removed\n"
+    (List.length d.X.Decomposition.parts)
+    (100.0 *. d.X.Decomposition.edge_fraction_removed);
+  List.iteri
+    (fun i part ->
+      if Array.length part > 1 then
+        Printf.printf "  part %d: %d vertices\n" i (Array.length part))
+    d.X.Decomposition.parts;
+  let singletons =
+    List.length (List.filter (fun p -> Array.length p = 1) d.X.Decomposition.parts)
+  in
+  if singletons > 0 then
+    Printf.printf "  (+ %d singleton parts from Phase-2 trimming)\n" singletons;
+  let report = X.Decomposition_verify.check g d (X.Rng.create (seed + 2)) in
+  Printf.printf "verified: partition %b, epsilon-ok %b, every part Phi >= %.4f\n"
+    report.X.Decomposition_verify.is_partition
+    report.X.Decomposition_verify.epsilon_ok
+    report.X.Decomposition_verify.min_conductance_lower;
+
+  banner "Theorem 2 — triangle enumeration in O~(n^{1/3}) rounds";
+  let tri = X.enumerate_triangles ~epsilon:(1.0 /. 6.0) g ~seed in
+  Printf.printf "found %d triangles (complete: %b) over %d level(s)\n"
+    (List.length tri.X.Triangle_enum.triangles)
+    tri.X.Triangle_enum.complete
+    (List.length tri.X.Triangle_enum.levels);
+  let dlp = X.Triangle_dlp.run g in
+  Printf.printf
+    "round comparison: CONGEST enumeration part = %d, executed DLP in the\n\
+     CONGESTED-CLIQUE = %d, trivial flooding = %d\n"
+    tri.X.Triangle_enum.enumeration_rounds dlp.X.Triangle_dlp.rounds
+    (X.Triangle_baselines.trivial_rounds g);
+  Printf.printf "\n(the decomposition itself costs %d simulated rounds at practical\n\
+                 conductances — the polylog factors the paper's Open Problems\n\
+                 section calls 'enormous' are measured, not hidden)\n"
+    tri.X.Triangle_enum.total_rounds

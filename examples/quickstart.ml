@@ -1,0 +1,52 @@
+(* Quickstart: decompose a two-community graph and inspect the result.
+
+   Build & run:  dune exec examples/quickstart.exe
+
+   The graph is a "dumbbell": two random regular expanders joined by a
+   couple of bridge edges — the textbook instance with exactly one
+   very sparse, perfectly balanced cut. An (ε, φ)-expander
+   decomposition must place the two expanders in different parts
+   (cutting the bridges costs far less than ε·m) and certify each part
+   as a φ-expander. *)
+
+module X = Dexpander
+
+let () =
+  let seed = 42 in
+  let rng = X.Rng.create seed in
+
+  (* 1. Build a graph: two 150-vertex 8-regular expanders, 2 bridges. *)
+  let g = X.Generators.dumbbell rng ~n1:150 ~n2:150 ~d:8 ~bridges:2 in
+  Printf.printf "input: %d vertices, %d edges\n" (X.Graph.num_vertices g)
+    (X.Graph.num_edges g);
+
+  (* 2. Decompose. ε bounds the fraction of edges between parts; k
+        trades rounds for conductance (Theorem 1). *)
+  let result = X.decompose ~epsilon:(1.0 /. 6.0) ~k:2 g ~seed in
+
+  Printf.printf "parts: %d\n" (List.length result.X.Decomposition.parts);
+  List.iteri
+    (fun i part ->
+      Printf.printf "  part %d: %d vertices (volume %d)\n" i (Array.length part)
+        (X.Graph.volume g part))
+    result.X.Decomposition.parts;
+  Printf.printf "edges removed: %.2f%% (budget %.2f%%)\n"
+    (100.0 *. result.X.Decomposition.edge_fraction_removed)
+    (100.0 /. 6.0);
+  Printf.printf "simulated CONGEST rounds: %d\n"
+    result.X.Decomposition.stats.X.Decomposition.rounds;
+
+  (* 3. Verify the two guarantees of Theorem 1 on this run. *)
+  let report = X.Decomposition_verify.check g result (X.Rng.create (seed + 1)) in
+  Printf.printf "verified partition: %b\n" report.X.Decomposition_verify.is_partition;
+  Printf.printf "inter-part edge budget respected: %b\n"
+    report.X.Decomposition_verify.epsilon_ok;
+  Printf.printf "all parts are expanders: conductance ≥ %.4f (target φ = %.4f)\n"
+    report.X.Decomposition_verify.min_conductance_lower result.X.Decomposition.phi_target;
+
+  (* 4. The same graph through the standalone sparse cut (Theorem 3):
+        it should find the bridge cut with balance ≈ 1/2. *)
+  let cut = X.sparse_cut ~phi:0.05 g ~seed in
+  Printf.printf "standalone sparse cut: |C| = %d, Φ(C) = %.4f, bal(C) = %.3f\n"
+    (Array.length cut.X.Sparse_cut.cut) cut.X.Sparse_cut.conductance
+    cut.X.Sparse_cut.balance

@@ -1,0 +1,61 @@
+exception Congestion_violation of string
+
+type message = int array
+
+type t = {
+  size : int;
+  ledger : Rounds.t;
+  word_size : int;
+  mutable messages : int;
+}
+
+type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (int * message) list
+
+let create ?(word_size = 1) ~n ledger =
+  if n < 1 then invalid_arg "Clique.create: n >= 1";
+  if word_size < 1 then invalid_arg "Clique.create: word_size >= 1";
+  { size = n; ledger; word_size; messages = 0 }
+
+let n t = t.size
+let messages_sent t = t.messages
+let rounds t = t.ledger
+
+let validate t v outbox =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (u, (msg : message)) ->
+      if Array.length msg > t.word_size then
+        raise
+          (Congestion_violation
+             (Printf.sprintf "vertex %d: message of %d words exceeds budget %d" v
+                (Array.length msg) t.word_size));
+      if u < 0 || u >= t.size then
+        raise (Congestion_violation (Printf.sprintf "vertex %d: destination %d out of range" v u));
+      if u = v then
+        raise (Congestion_violation (Printf.sprintf "vertex %d: self message" v));
+      if Hashtbl.mem seen u then
+        raise
+          (Congestion_violation
+             (Printf.sprintf "vertex %d: two messages to %d in one round" v u));
+      Hashtbl.replace seen u ())
+    outbox
+
+let run_rounds t ~label ~init ~step k =
+  let states = Array.init t.size init in
+  let inboxes = ref (Array.make t.size []) in
+  for round = 1 to k do
+    let next = Array.make t.size [] in
+    for v = 0 to t.size - 1 do
+      let state', outbox = step ~round ~vertex:v states.(v) !inboxes.(v) in
+      states.(v) <- state';
+      validate t v outbox;
+      List.iter
+        (fun (u, msg) ->
+          t.messages <- t.messages + 1;
+          next.(u) <- (v, msg) :: next.(u))
+        outbox
+    done;
+    inboxes := next
+  done;
+  Rounds.charge t.ledger ~label k;
+  states

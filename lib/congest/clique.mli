@@ -1,0 +1,38 @@
+(** Simulated CONGESTED-CLIQUE.
+
+    The variant of CONGEST where the communication graph is complete:
+    in every round each of the n vertices may send one O(log n)-bit
+    word-bounded message to {e every other} vertex (n-1 messages out,
+    n-1 in). The input graph lives on top as knowledge: vertex v
+    initially knows its incident edges.
+
+    The kernel mirrors {!Network}: per-vertex state machines, a round
+    ledger and congestion checks (at most one message per ordered pair
+    per round). It exists so the Dolev–Lenzen–Peled triangle
+    enumeration baseline can be {e executed} rather than charged from
+    a formula. *)
+
+exception Congestion_violation of string
+
+type t
+
+type message = int array
+
+(** [create ?word_size ~n ledger] makes an n-vertex clique machine. *)
+val create : ?word_size:int -> n:int -> Rounds.t -> t
+
+(** [n t] is the number of vertices. *)
+val n : t -> int
+
+(** [messages_sent t]. *)
+val messages_sent : t -> int
+
+type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (int * message) list
+
+(** [run_rounds t ~label ~init ~step k] executes exactly [k] rounds.
+    A vertex may address any other vertex; sending to itself or twice
+    to the same destination in a round raises {!Congestion_violation}. *)
+val run_rounds : t -> label:string -> init:(int -> 's) -> step:'s step -> int -> 's array
+
+(** [rounds t] is the shared ledger. *)
+val rounds : t -> Rounds.t

@@ -1,0 +1,87 @@
+module Graph = Dex_graph.Graph
+
+exception Congestion_violation of string
+
+type message = int array
+
+type t = {
+  graph : Graph.t;
+  ledger : Rounds.t;
+  word_size : int;
+  mutable messages : int;
+}
+
+type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (int * message) list
+
+let create ?(word_size = 1) graph ledger =
+  if word_size < 1 then invalid_arg "Network.create: word_size must be >= 1";
+  { graph; ledger; word_size; messages = 0 }
+
+let graph t = t.graph
+let messages_sent t = t.messages
+let rounds t = t.ledger
+let charge t ~label k = Rounds.charge t.ledger ~label k
+
+let validate_outbox t v outbox =
+  (* one message per incident edge: with simple graphs this is one per
+     distinct neighbor; detect duplicates and non-neighbors. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (u, (msg : message)) ->
+      if Array.length msg > t.word_size then
+        raise
+          (Congestion_violation
+             (Printf.sprintf "vertex %d: message of %d words exceeds budget %d" v
+                (Array.length msg) t.word_size));
+      if not (Graph.mem_edge t.graph v u) || v = u then
+        raise
+          (Congestion_violation (Printf.sprintf "vertex %d: %d is not a neighbor" v u));
+      if Hashtbl.mem seen u then
+        raise
+          (Congestion_violation
+             (Printf.sprintf "vertex %d: two messages on edge to %d in one round" v u));
+      Hashtbl.replace seen u ())
+    outbox
+
+let exec_round t ~round states inboxes step =
+  let n = Graph.num_vertices t.graph in
+  let next_inboxes = Array.make n [] in
+  for v = 0 to n - 1 do
+    let state', outbox = step ~round ~vertex:v states.(v) inboxes.(v) in
+    states.(v) <- state';
+    validate_outbox t v outbox;
+    List.iter
+      (fun (u, msg) ->
+        t.messages <- t.messages + 1;
+        next_inboxes.(u) <- (v, msg) :: next_inboxes.(u))
+      outbox
+  done;
+  next_inboxes
+
+let run t ~label ~init ~step ~finished ?(max_rounds = 1_000_000) () =
+  let n = Graph.num_vertices t.graph in
+  let states = Array.init n init in
+  let inboxes = ref (Array.make n []) in
+  let executed = ref 0 in
+  (* a protocol is complete only when its predicate holds AND no
+     message is still in flight — otherwise the wave it just sent
+     would be lost *)
+  let in_flight () = Array.exists (fun inbox -> inbox <> []) !inboxes in
+  while (not (finished states && not (in_flight ()))) && !executed < max_rounds do
+    incr executed;
+    inboxes := exec_round t ~round:!executed states !inboxes step
+  done;
+  if not (finished states) then
+    failwith (Printf.sprintf "Network.run(%s): exceeded %d rounds" label max_rounds);
+  Rounds.charge t.ledger ~label !executed;
+  (states, !executed)
+
+let run_rounds t ~label ~init ~step n_rounds =
+  let n = Graph.num_vertices t.graph in
+  let states = Array.init n init in
+  let inboxes = ref (Array.make n []) in
+  for round = 1 to n_rounds do
+    inboxes := exec_round t ~round states !inboxes step
+  done;
+  Rounds.charge t.ledger ~label n_rounds;
+  states

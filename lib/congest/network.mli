@@ -1,0 +1,66 @@
+(** Synchronous message-passing simulation of the CONGEST model.
+
+    A network wraps a communication graph. A protocol is a per-vertex
+    state machine: in every round each vertex reads its inbox (the
+    messages its neighbors sent in the previous round), updates its
+    state and emits at most one message per incident edge. The kernel
+    enforces the CONGEST discipline:
+
+    - a message may only be sent to a neighbor;
+    - at most one message per (vertex, incident edge) per round;
+    - each message carries at most [word_size] machine words, a word
+      standing for O(log n) bits.
+
+    Violations raise {!Congestion_violation} — this is how tests do
+    failure injection. Rounds and message words are charged to a
+    {!Rounds.t} ledger so protocol compositions have one cost ledger. *)
+
+exception Congestion_violation of string
+
+type t
+
+(** [create ?word_size graph rounds] wraps [graph]; [word_size]
+    (default 1) is the per-message word budget. *)
+val create : ?word_size:int -> Dex_graph.Graph.t -> Rounds.t -> t
+
+(** [graph t] is the underlying communication graph. *)
+val graph : t -> Dex_graph.Graph.t
+
+(** [messages_sent t] is the cumulative number of messages delivered. *)
+val messages_sent : t -> int
+
+(** A message is an int array of at most [word_size] words. *)
+type message = int array
+
+(** Per-round behaviour of one vertex. Receives the current round
+    number (starting at 1), the vertex id, its state and its inbox
+    [(sender, message) list]; returns the new state and the outbox
+    [(neighbor, message) list]. *)
+type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (int * message) list
+
+(** [run t ~label ~init ~step ~finished ?max_rounds ()] executes the
+    protocol synchronously until [finished state_array] holds at a
+    round boundary with no message still in flight, or [max_rounds]
+    (default 1_000_000) is exhausted (raising [Failure] in the latter
+    case). Returns the final states and the number of rounds executed;
+    the rounds are also charged to the ledger under [label]. *)
+val run :
+  t ->
+  label:string ->
+  init:(int -> 's) ->
+  step:'s step ->
+  finished:('s array -> bool) ->
+  ?max_rounds:int ->
+  unit ->
+  's array * int
+
+(** [run_rounds t ~label ~init ~step n] runs exactly [n] rounds. *)
+val run_rounds :
+  t -> label:string -> init:(int -> 's) -> step:'s step -> int -> 's array
+
+(** [charge t ~label k] charges [k] rounds for an accounted (not
+    message-level executed) protocol phase. *)
+val charge : t -> label:string -> int -> unit
+
+(** [rounds t] is the ledger. *)
+val rounds : t -> Rounds.t

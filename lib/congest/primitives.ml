@@ -1,0 +1,100 @@
+module Graph = Dex_graph.Graph
+
+type tree = {
+  root : int;
+  parent : int array;
+  depth : int array;
+  height : int;
+  members : int array;
+}
+
+type bfs_state = { dist : int; par : int; pending : bool }
+
+let bfs_tree net ~root =
+  let g = Network.graph net in
+  let n = Graph.num_vertices g in
+  if root < 0 || root >= n then invalid_arg "Primitives.bfs_tree: root out of range";
+  let init v =
+    if v = root then { dist = 0; par = root; pending = true }
+    else { dist = max_int; par = -1; pending = false }
+  in
+  let step ~round:_ ~vertex:v st inbox =
+    (* adopt the smallest advertised distance on first contact *)
+    let st =
+      if st.dist = max_int then
+        List.fold_left
+          (fun acc (sender, msg) ->
+            let d = msg.(0) + 1 in
+            if d < acc.dist then { dist = d; par = sender; pending = true } else acc)
+          st inbox
+      else st
+    in
+    if st.pending then
+      let outbox = ref [] in
+      Graph.iter_neighbors g v (fun u -> outbox := (u, [| st.dist |]) :: !outbox);
+      ({ st with pending = false }, !outbox)
+    else (st, [])
+  in
+  let finished states = Array.for_all (fun st -> not st.pending) states in
+  let states, _rounds = Network.run net ~label:"bfs" ~init ~step ~finished () in
+  let parent = Array.map (fun st -> st.par) states in
+  let depth = Array.map (fun st -> st.dist) states in
+  let height = Array.fold_left (fun acc d -> if d = max_int then acc else max acc d) 0 depth in
+  let members =
+    let acc = ref [] in
+    for v = n - 1 downto 0 do
+      if depth.(v) <> max_int then acc := v :: !acc
+    done;
+    Array.of_list !acc
+  in
+  { root; parent; depth; height; members }
+
+type leader_state = { best : int; fresh : bool }
+
+let elect_leader net =
+  let g = Network.graph net in
+  let init v = { best = v; fresh = true } in
+  let step ~round:_ ~vertex:v st inbox =
+    let best =
+      List.fold_left (fun acc (_, msg) -> min acc msg.(0)) st.best inbox
+    in
+    let improved = best < st.best || st.fresh in
+    if improved then begin
+      let outbox = ref [] in
+      Graph.iter_neighbors g v (fun u -> outbox := (u, [| best |]) :: !outbox);
+      ({ best; fresh = false }, !outbox)
+    end
+    else ({ best; fresh = false }, [])
+  in
+  (* a vertex re-announces only when its view improves, so quiescence
+     means the minimum has flooded each component *)
+  let changed = ref true in
+  let prev = ref [||] in
+  let finished states =
+    let snapshot = Array.map (fun st -> st.best) states in
+    let same = !prev <> [||] && snapshot = !prev in
+    prev := snapshot;
+    changed := not same;
+    same
+  in
+  let states, _ = Network.run net ~label:"leader" ~init ~step ~finished () in
+  Array.map (fun st -> st.best) states
+
+let broadcast net tree ~label = Network.charge net ~label tree.height
+
+let convergecast_sum net tree ~label values =
+  Network.charge net ~label tree.height;
+  Array.fold_left (fun acc v -> acc + values.(v)) 0 tree.members
+
+let convergecast_min net tree ~label values =
+  Network.charge net ~label tree.height;
+  Array.fold_left (fun acc v -> min acc values.(v)) max_int tree.members
+
+let pipelined_broadcast net tree ~label ~words =
+  if words < 0 then invalid_arg "Primitives.pipelined_broadcast: negative words";
+  Network.charge net ~label (tree.height + words)
+
+let subnetwork net members =
+  let g = Network.graph net in
+  let sub, mapping = Graph.induced_subgraph g members in
+  (Network.create sub (Network.rounds net), mapping)

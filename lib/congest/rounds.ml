@@ -1,0 +1,22 @@
+type t = { mutable total : int; phases : (string, int) Hashtbl.t }
+
+let create () = { total = 0; phases = Hashtbl.create 16 }
+
+let charge t ~label k =
+  if k < 0 then invalid_arg "Rounds.charge: negative round count";
+  t.total <- t.total + k;
+  let prev = try Hashtbl.find t.phases label with Not_found -> 0 in
+  Hashtbl.replace t.phases label (prev + k)
+
+let total t = t.total
+
+let by_phase t =
+  Hashtbl.fold (fun label k acc -> (label, k) :: acc) t.phases []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let merge ~into src =
+  Hashtbl.iter (fun label k -> charge into ~label k) src.phases
+
+let reset t =
+  t.total <- 0;
+  Hashtbl.reset t.phases

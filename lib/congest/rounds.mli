@@ -1,0 +1,30 @@
+(** Round-cost ledger.
+
+    Every simulated CONGEST computation charges its rounds here, under
+    a phase label, so that benchmark tables can report both the total
+    round count and its breakdown (e.g. how many rounds Phase 1 of the
+    expander decomposition spent in low-diameter decomposition versus
+    sparse-cut computation). Executed message-passing protocols charge
+    their actual round loop; accounted phases charge the measured cost
+    of the primitive they stand for (see DESIGN.md §2). *)
+
+type t
+
+(** [create ()] is an empty ledger. *)
+val create : unit -> t
+
+(** [charge t ~label k] adds [k] rounds under [label].
+    Raises [Invalid_argument] on negative [k]. *)
+val charge : t -> label:string -> int -> unit
+
+(** [total t] is the number of rounds charged so far. *)
+val total : t -> int
+
+(** [by_phase t] aggregates charges per label, descending by cost. *)
+val by_phase : t -> (string * int) list
+
+(** [merge ~into src] adds all of [src]'s charges into [into]. *)
+val merge : into:t -> t -> unit
+
+(** [reset t] zeroes the ledger. *)
+val reset : t -> unit

@@ -1,0 +1,77 @@
+(** Public umbrella API for the distributed expander decomposition
+    library — the entry point a downstream user should start from.
+
+    The toolkit reproduces Chang & Saranurak, "Improved Distributed
+    Expander Decomposition and Nearly Optimal Triangle Enumeration"
+    (PODC 2019) on a simulated CONGEST network:
+
+    - {!decompose} — Theorem 1, the (ε, φ)-expander decomposition;
+    - {!sparse_cut} — Theorem 3, the nearly most balanced sparse cut;
+    - {!low_diameter_decomposition} — Theorem 4;
+    - {!enumerate_triangles} — Theorem 2, Õ(n^{1/3})-round triangle
+      enumeration.
+
+    Sub-libraries are re-exported under their natural names for users
+    who need the underlying machinery (walks, sweeps, the CONGEST
+    kernel, generators, baselines). *)
+
+module Rng = Dex_util.Rng
+module Stats = Dex_util.Stats
+module Table = Dex_util.Table
+module Graph = Dex_graph.Graph
+module Metrics = Dex_graph.Metrics
+module Generators = Dex_graph.Generators
+module Graph_io = Dex_graph.Graph_io
+module Network = Dex_congest.Network
+module Rounds = Dex_congest.Rounds
+module Primitives = Dex_congest.Primitives
+module Clique = Dex_congest.Clique
+module Walk = Dex_spectral.Walk
+module Sweep = Dex_spectral.Sweep
+module Mixing = Dex_spectral.Mixing
+module Exact_cut = Dex_spectral.Exact
+module Nibble = Dex_sparsecut.Nibble
+module Nibble_params = Dex_sparsecut.Params
+module Parallel_nibble = Dex_sparsecut.Parallel_nibble
+module Sparse_cut = Dex_sparsecut.Partition
+module Sparse_cut_sequential = Dex_sparsecut.St_reference
+module Cut_baselines = Dex_sparsecut.Baselines
+module Pagerank_cut = Dex_sparsecut.Pagerank_cut
+module Clustering = Dex_ldd.Clustering
+module Ldd = Dex_ldd.Ldd
+module Schedule = Dex_decomp.Schedule
+module Decomposition = Dex_decomp.Decomposition
+module Decomposition_verify = Dex_decomp.Verify
+module Cpz_baseline = Dex_decomp.Cpz_baseline
+module Recursive_baseline = Dex_decomp.Recursive_baseline
+module Trimming = Dex_decomp.Trimming
+module Routing = Dex_routing.Hierarchy
+module Token_router = Dex_routing.Token_router
+module Triangles = Dex_triangle.Exact
+module Triangle_enum = Dex_triangle.Expander_enum
+module Triangle_baselines = Dex_triangle.Baselines
+module Triangle_dlp = Dex_triangle.Dlp
+
+(** [decompose ?preset ?epsilon ?k g ~seed] computes an (ε, φ)-expander
+    decomposition (Theorem 1). Defaults: ε = 1/6, k = 2. *)
+let decompose ?preset ?(epsilon = 1.0 /. 6.0) ?(k = 2) g ~seed =
+  Decomposition.run ?preset ~epsilon ~k g (Rng.create seed)
+
+(** [sparse_cut ?preset ?phi g ~seed] runs the nearly most balanced
+    sparse cut (Theorem 3) at conductance parameter [phi]
+    (default 1/20). *)
+let sparse_cut ?preset ?(phi = 0.05) g ~seed =
+  let params =
+    Dex_sparsecut.Params.make ?preset ~phi ~m:(max 1 (Graph.num_edges g)) ()
+  in
+  Sparse_cut.run params g (Rng.create seed)
+
+(** [low_diameter_decomposition ?beta g ~seed] runs Theorem 4's LDD
+    (default β = 0.1). *)
+let low_diameter_decomposition ?(beta = 0.1) g ~seed =
+  Ldd.run_graph g ~beta (Rng.create seed)
+
+(** [enumerate_triangles ?epsilon ?k g ~seed] enumerates every
+    triangle of [g] via expander decomposition (Theorem 2). *)
+let enumerate_triangles ?epsilon ?k g ~seed =
+  Triangle_enum.run ?epsilon ?k_decomp:k g (Rng.create seed)

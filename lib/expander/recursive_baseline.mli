@@ -1,0 +1,22 @@
+(** The "most straightforward algorithm" of Section 1.2: find a
+    φ-sparse cut; if none exists the component is done; otherwise
+    recurse on both sides.
+
+    This is the strawman whose two efficiency problems motivate the
+    whole paper: (1) exact sparse-cut checking is NP-hard (we
+    substitute the spectral sweep, as every practical instantiation
+    does), and (2) nothing bounds the balance of the cut, so the
+    recursion depth — the parallel running time — can reach Ω(n).
+    Bench E11 measures exactly that depth against the Theorem-1
+    driver's d = O(ε⁻¹ log n) bound. *)
+
+type t = {
+  parts : int array list;
+  edge_fraction_removed : float;
+  recursion_depth : int; (** the parallel-time proxy *)
+  cut_calls : int;
+}
+
+(** [run ~phi g rng] decomposes until every part's spectral sweep
+    finds no cut of conductance ≤ phi. *)
+val run : phi:float -> Dex_graph.Graph.t -> Dex_util.Rng.t -> t

@@ -1,0 +1,36 @@
+(** Saranurak–Wang-style expander trimming (SODA 2019), the technique
+    the paper discusses in Section 1.1 and deliberately does {e not}
+    use ("their trimming step seems to be inherently sequential and
+    very challenging to parallelize or make distributed").
+
+    This module implements the sequential degree-based core of
+    trimming so the comparison is concrete: given a vertex set A whose
+    induced subgraph was a φ-expander before some incident edges were
+    removed, repeatedly discard vertices that retain less than half of
+    their original degree inside A. SW prove the surviving core A' is
+    still a Θ(φ)-expander and only O(cut/φ) volume is pruned; the
+    discard loop is a sequential cascade — each removal can trigger
+    the next — which is exactly the distributed-unfriendliness the
+    paper points at.
+
+    Used by tests and by downstream users who run the decomposition
+    and then want to repair a part after deleting edges, without
+    re-running Partition. *)
+
+type t = {
+  core : int array; (** surviving vertices, sorted *)
+  pruned : int array; (** discarded vertices, in removal order *)
+  pruned_volume : int; (** volume (original degrees) discarded *)
+  cascade_length : int; (** longest dependency chain of removals —
+                            a lower bound on the rounds a naive
+                            distributed version would need *)
+}
+
+(** [trim g members] trims [G\[members\]] against the full-graph
+    degrees: a vertex survives while 2·deg_A(v) ≥ deg_G(v). *)
+val trim : Dex_graph.Graph.t -> int array -> t
+
+(** [trim_after_removal g members ~removed] first deletes the given
+    edges, then trims — the repair workflow. *)
+val trim_after_removal :
+  Dex_graph.Graph.t -> int array -> removed:(int * int) list -> t

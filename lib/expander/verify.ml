@@ -1,0 +1,59 @@
+module Graph = Dex_graph.Graph
+module Metrics = Dex_graph.Metrics
+module Exact = Dex_spectral.Exact
+module Mixing = Dex_spectral.Mixing
+
+type part_report = {
+  size : int;
+  volume : int;
+  conductance_lower : float;
+  method_ : string;
+}
+
+type report = {
+  is_partition : bool;
+  edge_fraction_removed : float;
+  epsilon_ok : bool;
+  parts : part_report list;
+  min_conductance_lower : float;
+  phi_ok : bool;
+}
+
+let part_report g rng part =
+  let size = Array.length part in
+  let volume = Graph.volume g part in
+  if size <= 1 then { size; volume; conductance_lower = Float.infinity; method_ = "singleton" }
+  else begin
+    let sub, _ = Graph.saturated_subgraph g part in
+    if size <= 16 then begin
+      let phi, _ = Exact.min_conductance sub in
+      { size; volume; conductance_lower = phi; method_ = "exact" }
+    end
+    else begin
+      (* Cheeger: for the lazy-walk gap g_l = (1 - λ₂(M)), the
+         normalized Laplacian gap is 2·g_l and Φ ≥ g_l *)
+      let gap, _ = Mixing.spectral_gap ~iters:120 sub rng in
+      { size; volume; conductance_lower = gap; method_ = "spectral" }
+    end
+  end
+
+let check g (result : Decomposition.result) rng =
+  let is_partition =
+    try
+      Metrics.check_partition g result.Decomposition.parts;
+      true
+    with Invalid_argument _ -> false
+  in
+  let parts = List.map (part_report g rng) result.Decomposition.parts in
+  let min_conductance_lower =
+    List.fold_left
+      (fun acc p -> if p.method_ = "singleton" then acc else Float.min acc p.conductance_lower)
+      Float.infinity parts
+  in
+  let eps = result.Decomposition.schedule.Schedule.epsilon in
+  { is_partition;
+    edge_fraction_removed = result.Decomposition.edge_fraction_removed;
+    epsilon_ok = result.Decomposition.edge_fraction_removed <= eps +. 1e-9;
+    parts;
+    min_conductance_lower;
+    phi_ok = min_conductance_lower >= result.Decomposition.phi_target }

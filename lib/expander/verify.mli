@@ -1,0 +1,29 @@
+(** Verification of an (ε, φ)-expander decomposition result.
+
+    For each part we measure a conductance figure: exact minimum
+    conductance of G{Vi} for tiny parts (≤ 16 vertices), otherwise the
+    Cheeger-style lower bound from the lazy spectral gap plus a
+    Partition re-certification. The report lets tests and benches
+    assert the two Theorem-1 conditions on concrete runs. *)
+
+type part_report = {
+  size : int;
+  volume : int;
+  conductance_lower : float;
+  (** certified lower bound on Φ(G{Vi}): exact for tiny parts,
+      spectral (gap of the lazy walk) for larger ones; singletons get
+      +inf *)
+  method_ : string; (** "exact" | "spectral" | "singleton" *)
+}
+
+type report = {
+  is_partition : bool;
+  edge_fraction_removed : float;
+  epsilon_ok : bool; (** measured fraction ≤ ε *)
+  parts : part_report list;
+  min_conductance_lower : float; (** over non-singleton parts; +inf if none *)
+  phi_ok : bool; (** min_conductance_lower ≥ φ_target *)
+}
+
+(** [check g result] verifies [result] against its own schedule. *)
+val check : Dex_graph.Graph.t -> Decomposition.result -> Dex_util.Rng.t -> report

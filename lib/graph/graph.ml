@@ -1,0 +1,180 @@
+type t = {
+  n : int;
+  adj : int array array; (* sorted neighbor lists, self-loops excluded *)
+  loops : int array; (* self-loop count per vertex *)
+  plain_m : int; (* number of non-loop undirected edges *)
+  loop_m : int; (* number of self-loops *)
+}
+
+let num_vertices g = g.n
+let num_plain_edges g = g.plain_m
+let num_edges g = g.plain_m + g.loop_m
+let plain_degree g v = Array.length g.adj.(v)
+let self_loops g v = g.loops.(v)
+let degree g v = Array.length g.adj.(v) + g.loops.(v)
+let neighbors g v = g.adj.(v)
+
+let iter_neighbors g v f =
+  let a = g.adj.(v) in
+  for i = 0 to Array.length a - 1 do
+    f a.(i)
+  done
+
+let build ~n ~count_edge =
+  (* two passes over the edge source: degree count then fill *)
+  let deg = Array.make n 0 in
+  let loops = Array.make n 0 in
+  let loop_m = ref 0 in
+  let plain_m = ref 0 in
+  count_edge (fun u v ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: endpoint out of range";
+      if u = v then begin
+        loops.(u) <- loops.(u) + 1;
+        incr loop_m
+      end
+      else begin
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1;
+        incr plain_m
+      end);
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  count_edge (fun u v ->
+      if u <> v then begin
+        adj.(u).(fill.(u)) <- v;
+        fill.(u) <- fill.(u) + 1;
+        adj.(v).(fill.(v)) <- u;
+        fill.(v) <- fill.(v) + 1
+      end);
+  Array.iter (fun a -> Array.sort compare a) adj;
+  { n; adj; loops; plain_m = !plain_m; loop_m = !loop_m }
+
+let of_edges ~n edges = build ~n ~count_edge:(fun f -> List.iter (fun (u, v) -> f u v) edges)
+
+let of_edge_array ~n edges =
+  build ~n ~count_edge:(fun f -> Array.iter (fun (u, v) -> f u v) edges)
+
+let empty n = of_edges ~n []
+
+let with_self_loops g extra =
+  if Array.length extra <> g.n then invalid_arg "Graph.with_self_loops: length mismatch";
+  let loops = Array.mapi (fun v k -> g.loops.(v) + k) extra in
+  Array.iteri
+    (fun v k -> if k < 0 then invalid_arg (Printf.sprintf "Graph.with_self_loops: negative at %d" v))
+    extra;
+  let loop_m = Array.fold_left ( + ) 0 loops in
+  { g with loops; loop_m }
+
+let mem_edge g u v =
+  if u = v then g.loops.(u) > 0
+  else begin
+    let a = g.adj.(u) in
+    let lo = ref 0 and hi = ref (Array.length a) in
+    let found = ref false in
+    while (not !found) && !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if a.(mid) = v then found := true
+      else if a.(mid) < v then lo := mid + 1
+      else hi := mid
+    done;
+    !found
+  end
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    for _ = 1 to g.loops.(u) do
+      f u u
+    done;
+    let a = g.adj.(u) in
+    for i = 0 to Array.length a - 1 do
+      if a.(i) >= u then f u a.(i)
+    done
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let fold_vertices g init f =
+  let acc = ref init in
+  for v = 0 to g.n - 1 do
+    acc := f !acc v
+  done;
+  !acc
+
+let volume g vs = Array.fold_left (fun acc v -> acc + degree g v) 0 vs
+let total_volume g = (2 * g.plain_m) + g.loop_m
+
+let member_mask g s =
+  let mask = Array.make g.n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= g.n then invalid_arg "Graph: subset vertex out of range";
+      mask.(v) <- true)
+    s;
+  mask
+
+let subgraph_generic g s ~saturate =
+  let mask = member_mask g s in
+  let id_of = Array.make g.n (-1) in
+  Array.iteri (fun i v -> id_of.(v) <- i) s;
+  let k = Array.length s in
+  let edge_acc = ref [] in
+  Array.iter
+    (fun v ->
+      iter_neighbors g v (fun u ->
+          if mask.(u) && (u > v || (u = v && false)) then
+            edge_acc := (id_of.(v), id_of.(u)) :: !edge_acc))
+    s;
+  let base = of_edges ~n:k !edge_acc in
+  let extra = Array.make k 0 in
+  Array.iteri
+    (fun i v ->
+      let kept = Array.length base.adj.(i) in
+      let lost = plain_degree g v - kept in
+      extra.(i) <- g.loops.(v) + (if saturate then lost else 0))
+    s;
+  (with_self_loops base extra, Array.copy s)
+
+let induced_subgraph g s = subgraph_generic g s ~saturate:false
+let saturated_subgraph g s = subgraph_generic g s ~saturate:true
+
+let remove_edges g dead =
+  let tbl = Hashtbl.create (2 * List.length dead) in
+  List.iter
+    (fun (u, v) ->
+      let key = if u <= v then (u, v) else (v, u) in
+      if u <> v then Hashtbl.replace tbl key ())
+    dead;
+  let extra = Array.make g.n 0 in
+  let keep = ref [] in
+  iter_edges g (fun u v ->
+      if u = v then keep := (u, v) :: !keep
+      else if Hashtbl.mem tbl (u, v) then begin
+        extra.(u) <- extra.(u) + 1;
+        extra.(v) <- extra.(v) + 1
+      end
+      else keep := (u, v) :: !keep);
+  let base = of_edges ~n:g.n !keep in
+  with_self_loops base extra
+
+let check g =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  if g.n < 0 then fail "negative vertex count";
+  let plain = ref 0 in
+  for v = 0 to g.n - 1 do
+    let a = g.adj.(v) in
+    for i = 0 to Array.length a - 1 do
+      let u = a.(i) in
+      if u < 0 || u >= g.n then fail "neighbor out of range at %d" v;
+      if u = v then fail "self-loop stored in adjacency at %d" v;
+      if i > 0 && a.(i - 1) > u then fail "unsorted adjacency at %d" v;
+      if not (Array.exists (fun w -> w = v) g.adj.(u)) then
+        fail "asymmetric edge %d-%d" v u
+    done;
+    plain := !plain + Array.length a
+  done;
+  if !plain <> 2 * g.plain_m then fail "plain edge count mismatch";
+  if Array.fold_left ( + ) 0 g.loops <> g.loop_m then fail "loop count mismatch"

@@ -1,0 +1,119 @@
+(** Compact undirected graphs with self-loops.
+
+    This is the graph object every algorithm in the project works on.
+    It matches the paper's conventions:
+
+    - graphs are undirected and may carry self-loops;
+    - each self-loop contributes exactly 1 to the degree of its vertex
+      (as in Spielman–Srivastava and the paper's Section 1);
+    - [G{S}] — written [saturated_subgraph] here — is the induced
+      subgraph on [S] where every vertex keeps its original degree by
+      gaining [deg_G(v) - deg_S(v)] self-loops.
+
+    The structure is immutable once built; adjacency is stored as
+    per-vertex sorted arrays, so neighbor iteration is cache-friendly
+    and membership tests are logarithmic. *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [of_edges ~n edges] builds a graph on vertices [0..n-1] from an
+    undirected edge list. Pairs [(u, v)] with [u = v] become
+    self-loops. Duplicate pairs produce parallel edges (the paper's
+    algorithms never create parallel non-loop edges, but the
+    representation allows them). Raises [Invalid_argument] if an
+    endpoint is out of range. *)
+val of_edges : n:int -> (int * int) list -> t
+
+(** [of_edge_array ~n edges] is [of_edges] on an array (no copy of the
+    input is kept). *)
+val of_edge_array : n:int -> (int * int) array -> t
+
+(** [with_self_loops g loops] returns [g] with [loops.(v)] extra
+    self-loops added at each vertex [v]. *)
+val with_self_loops : t -> int array -> t
+
+(** [empty n] is the edgeless graph on [n] vertices. *)
+val empty : int -> t
+
+(** {1 Size} *)
+
+(** [num_vertices g]. *)
+val num_vertices : t -> int
+
+(** [num_edges g] counts undirected edges; each self-loop counts 1. *)
+val num_edges : t -> int
+
+(** [num_plain_edges g] counts non-loop undirected edges. *)
+val num_plain_edges : t -> int
+
+(** {1 Local structure} *)
+
+(** [degree g v] = number of incident non-loop edge endpoints plus the
+    number of self-loops at [v] (each loop contributes 1). *)
+val degree : t -> int -> int
+
+(** [plain_degree g v] ignores self-loops. *)
+val plain_degree : t -> int -> int
+
+(** [self_loops g v] is the number of self-loops at [v]. *)
+val self_loops : t -> int -> int
+
+(** [neighbors g v] is the sorted array of non-loop neighbors of [v],
+    with multiplicity for parallel edges. The array is owned by the
+    graph: callers must not mutate it. *)
+val neighbors : t -> int -> int array
+
+(** [iter_neighbors g v f] calls [f u] for every non-loop neighbor. *)
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+(** [mem_edge g u v] tests for a non-loop edge between distinct [u],
+    [v], or a self-loop when [u = v]. *)
+val mem_edge : t -> int -> int -> bool
+
+(** {1 Global iteration} *)
+
+(** [iter_edges g f] calls [f u v] once per undirected edge with
+    [u <= v]; self-loops appear as [f v v]. *)
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+(** [edges g] materializes the edge list ([u <= v] per pair). *)
+val edges : t -> (int * int) list
+
+(** [fold_vertices g init f] folds [f acc v] over vertices in order. *)
+val fold_vertices : t -> 'a -> ('a -> int -> 'a) -> 'a
+
+(** {1 Volumes} *)
+
+(** [volume g vs] = sum of [degree g v] over [vs]; the paper's Vol. *)
+val volume : t -> int array -> int
+
+(** [total_volume g] = Vol(V) = sum of all degrees. *)
+val total_volume : t -> int
+
+(** {1 Derived graphs} *)
+
+(** [induced_subgraph g s] is [G\[S\]]: the plain induced subgraph,
+    together with the mapping from new vertex ids to original ids.
+    Self-loops of members are preserved. *)
+val induced_subgraph : t -> int array -> t * int array
+
+(** [saturated_subgraph g s] is [G{S}]: induced subgraph where each
+    kept vertex gains one self-loop per lost edge endpoint, so degrees
+    match the parent graph. Returns the graph and the id mapping. *)
+val saturated_subgraph : t -> int array -> t * int array
+
+(** [remove_edges g dead] removes every non-loop edge [(u, v)]
+    (normalized [u <= v]) present in [dead], replacing each with one
+    self-loop at [u] and one at [v] — the paper's edge-removal
+    convention ("whenever we remove an edge {u,v} we add a self loop
+    at both u and v, so the degree never changes"). *)
+val remove_edges : t -> (int * int) list -> t
+
+(** {1 Invariants} *)
+
+(** [check g] verifies internal invariants (adjacency symmetry, sorted
+    neighbor arrays, degree bookkeeping); raises [Failure] with a
+    description on violation. Intended for tests. *)
+val check : t -> unit

@@ -1,0 +1,227 @@
+let mask_of g s =
+  let mask = Array.make (Graph.num_vertices g) false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= Graph.num_vertices g then
+        invalid_arg "Metrics: vertex out of range";
+      mask.(v) <- true)
+    s;
+  mask
+
+let vertices_of_mask mask =
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
+  let out = Array.make count 0 in
+  let i = ref 0 in
+  Array.iteri
+    (fun v b ->
+      if b then begin
+        out.(!i) <- v;
+        incr i
+      end)
+    mask;
+  out
+
+let complement g s =
+  let mask = mask_of g s in
+  let out = Array.make (Graph.num_vertices g - Array.length s) 0 in
+  let i = ref 0 in
+  for v = 0 to Graph.num_vertices g - 1 do
+    if not mask.(v) then begin
+      out.(!i) <- v;
+      incr i
+    end
+  done;
+  out
+
+let cut_size_mask g mask =
+  let crossing = ref 0 in
+  Graph.iter_edges g (fun u v -> if u <> v && mask.(u) <> mask.(v) then incr crossing);
+  !crossing
+
+let cut_size g s = cut_size_mask g (mask_of g s)
+
+let conductance g s =
+  let vol_s = Graph.volume g s in
+  let vol_rest = Graph.total_volume g - vol_s in
+  let small = min vol_s vol_rest in
+  if small <= 0 then Float.infinity
+  else float_of_int (cut_size g s) /. float_of_int small
+
+let balance g s =
+  let total = Graph.total_volume g in
+  if total = 0 then 0.0
+  else begin
+    let vol_s = Graph.volume g s in
+    float_of_int (min vol_s (total - vol_s)) /. float_of_int total
+  end
+
+let is_sparse_cut g ~phi s =
+  let c = conductance g s in
+  Float.is_finite c && c <= phi
+
+let connected_components g =
+  let n = Graph.num_vertices g in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  let queue = Queue.create () in
+  for src = 0 to n - 1 do
+    if not seen.(src) then begin
+      seen.(src) <- true;
+      Queue.clear queue;
+      Queue.add src queue;
+      let members = ref [ src ] in
+      while not (Queue.is_empty queue) do
+        let v = Queue.take queue in
+        Graph.iter_neighbors g v (fun u ->
+            if not seen.(u) then begin
+              seen.(u) <- true;
+              members := u :: !members;
+              Queue.add u queue
+            end)
+      done;
+      let arr = Array.of_list !members in
+      Array.sort compare arr;
+      comps := arr :: !comps
+    end
+  done;
+  List.sort (fun a b -> compare (Array.length b) (Array.length a)) !comps
+
+let is_connected g =
+  match connected_components g with [] | [ _ ] -> true | _ -> false
+
+let bfs_multi_distances g srcs =
+  let n = Graph.num_vertices g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  Array.iter
+    (fun s ->
+      if dist.(s) = max_int then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    srcs;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Graph.iter_neighbors g v (fun u ->
+        if dist.(u) = max_int then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u queue
+        end)
+  done;
+  dist
+
+let bfs_distances g src = bfs_multi_distances g [| src |]
+
+let eccentricity g v =
+  let dist = bfs_distances g v in
+  Array.fold_left
+    (fun acc d ->
+      if d = max_int then failwith "Metrics.eccentricity: disconnected graph"
+      else max acc d)
+    0 dist
+
+let diameter g =
+  let n = Graph.num_vertices g in
+  if n <= 1 then 0
+  else begin
+    let best = ref 0 in
+    for v = 0 to n - 1 do
+      best := max !best (eccentricity g v)
+    done;
+    !best
+  end
+
+let diameter_2sweep g =
+  let n = Graph.num_vertices g in
+  if n <= 1 then 0
+  else begin
+    let far dist =
+      let best = ref 0 in
+      Array.iteri
+        (fun v d ->
+          if d = max_int then failwith "Metrics.diameter_2sweep: disconnected graph";
+          if d > dist.(!best) then best := v)
+        dist;
+      !best
+    in
+    let d0 = bfs_distances g 0 in
+    let a = far d0 in
+    let da = bfs_distances g a in
+    let b = far da in
+    da.(b)
+  end
+
+let subset_diameter g s =
+  if Array.length s = 0 then failwith "Metrics.subset_diameter: empty subset";
+  let sub, _ = Graph.induced_subgraph g s in
+  diameter sub
+
+let degeneracy g =
+  let n = Graph.num_vertices g in
+  if n = 0 then 0
+  else begin
+    (* standard bucket-queue core decomposition, O(n + m) *)
+    let deg = Array.init n (fun v -> Graph.plain_degree g v) in
+    let maxdeg = Array.fold_left max 0 deg in
+    let buckets = Array.make (maxdeg + 1) [] in
+    Array.iteri (fun v d -> buckets.(d) <- v :: buckets.(d)) deg;
+    let removed = Array.make n false in
+    let result = ref 0 in
+    let cursor = ref 0 in
+    for _ = 1 to n do
+      while !cursor <= maxdeg && buckets.(!cursor) = [] do
+        incr cursor
+      done;
+      (* buckets may hold stale entries; skip them *)
+      let rec take () =
+        match buckets.(!cursor) with
+        | [] ->
+          incr cursor;
+          while !cursor <= maxdeg && buckets.(!cursor) = [] do
+            incr cursor
+          done;
+          take ()
+        | v :: rest ->
+          buckets.(!cursor) <- rest;
+          if removed.(v) || deg.(v) <> !cursor then take () else v
+      in
+      let v = take () in
+      removed.(v) <- true;
+      result := max !result deg.(v);
+      Graph.iter_neighbors g v (fun u ->
+          if not removed.(u) then begin
+            deg.(u) <- deg.(u) - 1;
+            buckets.(deg.(u)) <- u :: buckets.(deg.(u));
+            if deg.(u) < !cursor then cursor := deg.(u)
+          end)
+    done;
+    !result
+  end
+
+let arboricity_upper_bound = degeneracy
+
+let check_partition g parts =
+  let n = Graph.num_vertices g in
+  let seen = Array.make n false in
+  List.iter
+    (fun part ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Metrics.check_partition: vertex out of range";
+          if seen.(v) then invalid_arg "Metrics.check_partition: vertex appears twice";
+          seen.(v) <- true)
+        part)
+    parts;
+  Array.iteri
+    (fun v covered ->
+      if not covered then
+        invalid_arg (Printf.sprintf "Metrics.check_partition: vertex %d uncovered" v))
+    seen
+
+let inter_component_edges g parts =
+  check_partition g parts;
+  let label = Array.make (Graph.num_vertices g) (-1) in
+  List.iteri (fun i part -> Array.iter (fun v -> label.(v) <- i) part) parts;
+  let crossing = ref 0 in
+  Graph.iter_edges g (fun u v -> if u <> v && label.(u) <> label.(v) then incr crossing);
+  !crossing

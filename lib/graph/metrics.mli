@@ -1,0 +1,90 @@
+(** Cut, conductance and distance metrics over {!Graph.t}.
+
+    Terminology follows Section 1 of the paper: for a vertex set [S],
+    [∂(S)] is the set of edges with exactly one endpoint in [S],
+    [Vol(S) = Σ_{v∈S} deg(v)] (self-loops count 1 each),
+    [Φ(S) = |∂(S)| / min(Vol(S), Vol(S̄))], and
+    [bal(S) = min(Vol(S), Vol(S̄)) / Vol(V)]. *)
+
+(** [mask_of g s] is the boolean membership mask of [s]. *)
+val mask_of : Graph.t -> int array -> bool array
+
+(** [vertices_of_mask mask] lists the set bits, ascending. *)
+val vertices_of_mask : bool array -> int array
+
+(** [complement g s] is [V \ S] as a sorted array. *)
+val complement : Graph.t -> int array -> int array
+
+(** [cut_size g s] = [|∂(S)|], the number of edges crossing [S].
+    Self-loops never cross. *)
+val cut_size : Graph.t -> int array -> int
+
+(** [cut_size_mask g mask] is [cut_size] on a membership mask. *)
+val cut_size_mask : Graph.t -> bool array -> int
+
+(** [conductance g s] = Φ(S). Returns [infinity] when either side has
+    zero volume (the cut is degenerate). *)
+val conductance : Graph.t -> int array -> float
+
+(** [balance g s] = bal(S) ∈ [0, 1/2]. *)
+val balance : Graph.t -> int array -> float
+
+(** [is_sparse_cut g ~phi s] tests Φ(S) ≤ phi with both sides
+    non-degenerate. *)
+val is_sparse_cut : Graph.t -> phi:float -> int array -> bool
+
+(** {1 Connectivity and distances} *)
+
+(** [connected_components g] lists components as sorted vertex arrays,
+    largest first. *)
+val connected_components : Graph.t -> int array list
+
+(** [is_connected g]. The empty graph is connected. *)
+val is_connected : Graph.t -> bool
+
+(** [bfs_distances g src] is the array of hop distances from [src];
+    unreachable vertices get [max_int]. *)
+val bfs_distances : Graph.t -> int -> int array
+
+(** [bfs_multi_distances g srcs] is distance to the nearest source. *)
+val bfs_multi_distances : Graph.t -> int array -> int array
+
+(** [eccentricity g v] is the maximum finite distance from [v];
+    raises [Failure] if some vertex is unreachable. *)
+val eccentricity : Graph.t -> int -> int
+
+(** [diameter g] is the exact diameter via all-pairs BFS — O(nm); use
+    on small or sparse graphs. Raises [Failure] if disconnected.
+    Returns 0 for graphs with fewer than 2 vertices. *)
+val diameter : Graph.t -> int
+
+(** [diameter_2sweep g] is the classic double-sweep lower bound on the
+    diameter, O(m). Raises [Failure] if disconnected. *)
+val diameter_2sweep : Graph.t -> int
+
+(** [subset_diameter g s] is the diameter of [G\[S\]] (hop distance
+    inside the induced subgraph); raises [Failure] if [G\[S\]] is
+    disconnected or [s] is empty. *)
+val subset_diameter : Graph.t -> int array -> int
+
+(** {1 Density} *)
+
+(** [degeneracy g] is the graph degeneracy (max over the removal
+    order of the minimum remaining plain degree); the arboricity lies
+    in [ceil(degeneracy/2), degeneracy]. Self-loops are ignored. *)
+val degeneracy : Graph.t -> int
+
+(** [arboricity_upper_bound g] = degeneracy: a forest-partition count
+    achievable greedily. *)
+val arboricity_upper_bound : Graph.t -> int
+
+(** {1 Partitions} *)
+
+(** [inter_component_edges g parts] counts edges of [g] whose
+    endpoints lie in different parts. [parts] must partition the
+    vertex set; raises [Invalid_argument] otherwise. *)
+val inter_component_edges : Graph.t -> int array list -> int
+
+(** [check_partition g parts] verifies that [parts] is a partition of
+    the vertices of [g]; raises [Invalid_argument] otherwise. *)
+val check_partition : Graph.t -> int array list -> unit

@@ -1,0 +1,83 @@
+module Graph = Dex_graph.Graph
+module Network = Dex_congest.Network
+module Rng = Dex_util.Rng
+
+type t = {
+  cluster : int array;
+  start : int array;
+  epochs : int;
+  rounds : int;
+}
+
+type state = {
+  start_epoch : int;
+  cluster : int; (* -1 while unclustered *)
+  announced : bool;
+}
+
+let run net ~beta rng =
+  if beta <= 0.0 || beta >= 1.0 then invalid_arg "Clustering.run: beta in (0,1)";
+  let g = Network.graph net in
+  let n = Graph.num_vertices g in
+  let horizon =
+    max 1 (int_of_float (Float.ceil (2.0 *. log (Float.max 2.0 (float_of_int n)) /. beta)))
+  in
+  let starts =
+    Array.init n (fun i ->
+        let local = Rng.split rng i in
+        let delta = Rng.exponential local ~rate:beta in
+        max 1 (horizon - int_of_float (Float.floor delta)))
+  in
+  let init v = { start_epoch = starts.(v); cluster = -1; announced = false } in
+  let step ~round ~vertex:v st inbox =
+    let st =
+      if st.cluster >= 0 then st
+      else if st.start_epoch = round then { st with cluster = v }
+      else if st.start_epoch > round then begin
+        (* join the smallest-id cluster among announcing neighbors *)
+        match inbox with
+        | [] -> st
+        | _ :: _ ->
+          let best =
+            List.fold_left (fun acc (_, msg) -> min acc msg.(0)) max_int inbox
+          in
+          { st with cluster = best }
+      end
+      else st
+    in
+    if st.cluster >= 0 && not st.announced then begin
+      let outbox = ref [] in
+      Graph.iter_neighbors g v (fun u -> outbox := (u, [| st.cluster |]) :: !outbox);
+      ({ st with announced = true }, !outbox)
+    end
+    else (st, [])
+  in
+  let states = Network.run_rounds net ~label:"mpx-clustering" ~init ~step horizon in
+  (* one trailing epoch so vertices whose wake-up coincided with the
+     horizon still announce is unnecessary: every vertex self-clusters
+     at its start epoch at the latest, and start epochs are <= horizon *)
+  let cluster = Array.map (fun st -> st.cluster) states in
+  Array.iteri
+    (fun v c -> if c < 0 then failwith (Printf.sprintf "Clustering: vertex %d unclustered" v))
+    cluster;
+  { cluster; start = starts; epochs = horizon; rounds = horizon }
+
+let clusters (t : t) =
+  let tbl = Hashtbl.create 64 in
+  Array.iteri
+    (fun v c ->
+      let members = try Hashtbl.find tbl c with Not_found -> [] in
+      Hashtbl.replace tbl c (v :: members))
+    t.cluster;
+  Hashtbl.fold
+    (fun _ members acc ->
+      let arr = Array.of_list members in
+      Array.sort compare arr;
+      arr :: acc)
+    tbl []
+
+let inter_cluster_edges g (t : t) =
+  let crossing = ref 0 in
+  Graph.iter_edges g (fun u v ->
+      if u <> v && t.cluster.(u) <> t.cluster.(v) then incr crossing);
+  !crossing

@@ -1,0 +1,43 @@
+(** LowDiamDecomposition(β) — Theorem 4.
+
+    1. Build the partition V = V_D ∪ V_S ({!Refine}).
+    2. Run MPX {!Clustering} with parameter β.
+    3. Cut only the inter-cluster edges with at least one endpoint in
+       V_S; the output parts are the connected components left.
+
+    W.h.p. every part has diameter O(log²n/β²) and at most 3β·|E|
+    edges are cut — a high-probability version of the
+    expectation-only guarantee of plain MPX, obtained because the cut
+    events of V_S-incident edges have bounded dependence
+    (Lemma 13 / Pemmaraju's Chernoff bound). *)
+
+type t = {
+  parts : int array list; (** the partition, each part sorted *)
+  cut_edges : (int * int) list; (** removed edges, normalized u ≤ v *)
+  rounds : int; (** total CONGEST rounds *)
+  beta : float;
+}
+
+(** [run ?ka ?kb net ~beta rng] executes the decomposition on the
+    network's graph; rounds are charged to the network ledger as well
+    as reported in the result. [ka]/[kb] are the refinement radius
+    constants (see {!Refine.run}; both default 5, the paper's
+    values). *)
+val run :
+  ?ka:float -> ?kb:float ->
+  Dex_congest.Network.t -> beta:float -> Dex_util.Rng.t -> t
+
+(** [run_graph ?ka ?kb g ~beta rng] is [run] on a fresh single-use
+    network with its own ledger. *)
+val run_graph :
+  ?ka:float -> ?kb:float ->
+  Dex_graph.Graph.t -> beta:float -> Dex_util.Rng.t -> t
+
+(** [max_part_diameter g t] is the largest part diameter. *)
+val max_part_diameter : Dex_graph.Graph.t -> t -> int
+
+(** [diameter_bound ?ka ?kb ~n ~beta ()] is the certified
+    Θ(log²n/β²) bound of Lemma 13 (2(d₁+1) + d₂ with the invariant-H
+    constants), the value tests and benches verify measured diameters
+    against. Pass the same [ka]/[kb] as the run. *)
+val diameter_bound : ?ka:float -> ?kb:float -> n:int -> beta:float -> unit -> int

@@ -1,0 +1,23 @@
+(** Ball edge counting — the |E(N^d(v))| queries of Lemmas 14–16.
+
+    [E(N^d(v))] is the set of edges with both endpoints within hop
+    distance d of v. The refinement step of LowDiamDecomposition
+    classifies vertices by comparing ball edge counts at two radii.
+
+    The simulation computes the counts centrally (exactly, with a
+    whole-component shortcut when the radius dominates the component
+    diameter) and charges the CONGEST cost of Lemma 16:
+    O(d·log²n / f³) rounds for an (1+f)-approximate count at radius d. *)
+
+(** [ball_edge_count g ~d v] = \|E(N^d(v))\| computed exactly by a
+    depth-bounded BFS from [v]. *)
+val ball_edge_count : Dex_graph.Graph.t -> d:int -> int -> int
+
+(** [all_ball_edge_counts g ~d] computes the count for every vertex.
+    When [d] is at least the component's diameter the component total
+    is reused without per-vertex BFS. *)
+val all_ball_edge_counts : Dex_graph.Graph.t -> d:int -> int array
+
+(** [lemma16_rounds ~n ~d ~f] is the round charge of the distributed
+    estimation algorithm of Lemma 16 with approximation [f]. *)
+val lemma16_rounds : n:int -> d:int -> f:float -> int

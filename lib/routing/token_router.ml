@@ -1,0 +1,102 @@
+module Graph = Dex_graph.Graph
+module Rng = Dex_util.Rng
+
+type request = { src : int; dst : int }
+
+type stats = {
+  rounds : int;
+  delivered : int;
+  moves : int;
+  max_queue : int;
+}
+
+let route ?(capacity = 1) ?max_rounds g rng requests =
+  if capacity < 1 then invalid_arg "Token_router.route: capacity >= 1";
+  let n = Graph.num_vertices g in
+  let max_rounds =
+    match max_rounds with
+    | Some r -> r
+    | None ->
+      let lf = 1.0 +. log (Float.max 2.0 (float_of_int n)) in
+      64 * n * int_of_float lf
+  in
+  (* tokens at each vertex, still travelling *)
+  let queue = Array.make n [] in
+  let pending = ref 0 in
+  List.iter
+    (fun { src; dst } ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Token_router.route: endpoint out of range";
+      if src = dst then ()
+      else begin
+        queue.(src) <- dst :: queue.(src);
+        incr pending
+      end)
+    requests;
+  let delivered = List.length requests - !pending in
+  let delivered = ref delivered in
+  let moves = ref 0 in
+  let rounds = ref 0 in
+  let max_queue = ref 0 in
+  Array.iter (fun q -> max_queue := max !max_queue (List.length q)) queue;
+  while !pending > 0 && !rounds < max_rounds do
+    incr rounds;
+    (* per-round edge budgets: capacity per direction *)
+    let next = Array.make n [] in
+    for v = 0 to n - 1 do
+      match queue.(v) with
+      | [] -> ()
+      | tokens ->
+        let deg = Graph.plain_degree g v in
+        if deg = 0 then next.(v) <- List.rev_append tokens next.(v)
+        else begin
+          let neighbors = Graph.neighbors g v in
+          (* each incident edge may carry up to [capacity] tokens *)
+          let budget = Array.make deg capacity in
+          List.iter
+            (fun dst ->
+              (* lazy step: stay with prob 1/2, else attempt an edge *)
+              if Rng.bool rng then next.(v) <- dst :: next.(v)
+              else begin
+                let i = Rng.int rng deg in
+                if budget.(i) > 0 then begin
+                  budget.(i) <- budget.(i) - 1;
+                  incr moves;
+                  let u = neighbors.(i) in
+                  if u = dst then begin
+                    incr delivered;
+                    decr pending
+                  end
+                  else next.(u) <- dst :: next.(u)
+                end
+                else next.(v) <- dst :: next.(v)
+              end)
+            tokens
+        end
+    done;
+    Array.blit next 0 queue 0 n;
+    Array.iter (fun q -> max_queue := max !max_queue (List.length q)) queue
+  done;
+  if !pending > 0 then
+    failwith
+      (Printf.sprintf "Token_router.route: %d tokens undelivered after %d rounds" !pending
+         !rounds);
+  { rounds = !rounds; delivered = !delivered; moves = !moves; max_queue = !max_queue }
+
+let degree_respecting_requests g rng ~load =
+  if load <= 0.0 then invalid_arg "Token_router.degree_respecting_requests: load > 0";
+  let n = Graph.num_vertices g in
+  let degrees = Array.init n (fun v -> float_of_int (Graph.degree g v)) in
+  let total = Array.fold_left ( +. ) 0.0 degrees in
+  if total <= 0.0 then []
+  else begin
+    let requests = ref [] in
+    for v = 0 to n - 1 do
+      let count = int_of_float (Float.round (load *. degrees.(v))) in
+      for _ = 1 to count do
+        let dst = Rng.weighted_index rng degrees in
+        requests := { src = v; dst } :: !requests
+      done
+    done;
+    !requests
+  end

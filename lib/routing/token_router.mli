@@ -1,0 +1,34 @@
+(** Executed random-walk token routing.
+
+    A concrete, message-level routing scheme used to validate that
+    routing on a φ-expander completes in O(τ_mix·polylog) simulated
+    rounds: every request (src, dst) is a token performing an
+    independent lazy random walk; a token parks once it reaches its
+    destination. Each edge forwards at most [capacity] tokens per
+    round per direction (excess tokens wait, chosen uniformly),
+    which is what makes the cost congestion-sensitive like the real
+    GKS routing rather than a free permutation. *)
+
+type request = { src : int; dst : int }
+
+type stats = {
+  rounds : int; (** rounds until every token parked *)
+  delivered : int;
+  moves : int; (** total token moves (message count) *)
+  max_queue : int; (** peak tokens waiting at one vertex *)
+}
+
+(** [route ?capacity ?max_rounds g rng requests] walks all tokens
+    until delivery. Raises [Failure] if [max_rounds] (default
+    [64·n·(1+log n)]) is exhausted — disconnected src/dst pairs do
+    that. *)
+val route :
+  ?capacity:int -> ?max_rounds:int ->
+  Dex_graph.Graph.t -> Dex_util.Rng.t -> request list -> stats
+
+(** [degree_respecting_requests g rng ~load] builds a random request
+    multiset where each vertex appears as source (and roughly as
+    destination) about [load·deg(v)] times — the request shape of the
+    GKS routing problem. *)
+val degree_respecting_requests :
+  Dex_graph.Graph.t -> Dex_util.Rng.t -> load:float -> request list

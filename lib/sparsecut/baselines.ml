@@ -1,0 +1,74 @@
+module Graph = Dex_graph.Graph
+module Metrics = Dex_graph.Metrics
+module Sweep = Dex_spectral.Sweep
+module Mixing = Dex_spectral.Mixing
+module Rng = Dex_util.Rng
+
+type cut = {
+  vertices : int array;
+  conductance : float;
+  balance : float;
+  rounds : int;
+}
+
+let of_sweep g sweep =
+  let best = ref None in
+  Array.iter
+    (fun (pref : Sweep.prefix) ->
+      if Float.is_finite pref.Sweep.conductance then
+        match !best with
+        | None -> best := Some pref
+        | Some b -> if pref.Sweep.conductance < b.Sweep.conductance then best := Some pref)
+    sweep.Sweep.prefixes;
+  Option.map
+    (fun (pref : Sweep.prefix) ->
+      let vertices = Sweep.take sweep pref.Sweep.len in
+      Array.sort compare vertices;
+      { vertices;
+        conductance = pref.Sweep.conductance;
+        balance = Metrics.balance g vertices;
+        rounds = 0 })
+    !best
+
+let spectral g rng =
+  let iters = 100 in
+  let _gap, vector = Mixing.spectral_gap ~iters g rng in
+  let sweep = Sweep.scan_vector g vector in
+  Option.map (fun c -> { c with rounds = iters }) (of_sweep g sweep)
+
+let dsmp ?walk_length g rng =
+  let n = Graph.num_vertices g in
+  if n = 0 || Graph.total_volume g = 0 then None
+  else begin
+    let steps =
+      match walk_length with
+      | Some l -> l
+      | None ->
+        let lf = log (Float.max 2.0 (float_of_int n)) in
+        int_of_float (Float.ceil (16.0 *. lf *. lf))
+    in
+    let degrees = Array.init n (fun v -> float_of_int (Graph.degree g v)) in
+    let src = Rng.weighted_index rng degrees in
+    let p = ref (Dex_spectral.Walk.indicator src) in
+    let best = ref None in
+    for _ = 1 to steps do
+      p := Dex_spectral.Walk.step_sparse g !p;
+      match Sweep.best_cut g !p with
+      | None -> ()
+      | Some (sweep, j) ->
+        let pref = sweep.Sweep.prefixes.(j - 1) in
+        (match !best with
+        | Some (bc, _, _) when bc <= pref.Sweep.conductance -> ()
+        | _ ->
+          let vertices = Sweep.take sweep j in
+          Array.sort compare vertices;
+          best := Some (pref.Sweep.conductance, vertices, ()))
+    done;
+    Option.map
+      (fun (conductance, vertices, ()) ->
+        { vertices;
+          conductance;
+          balance = Metrics.balance g vertices;
+          rounds = steps })
+      !best
+  end

@@ -1,0 +1,50 @@
+(** The Nibble procedure (Spielman–Teng) and the paper's
+    ApproximateNibble variant (Appendix A.1–A.2).
+
+    Nibble runs the truncated lazy random walk from a start vertex and
+    looks for a sweep prefix π̃_t(1..j) satisfying
+
+    - (C.1) Φ(π̃_t(1..j)) ≤ φ,
+    - (C.2) ρ̃_t(π̃_t(j)) ≥ γ / Vol(π̃_t(1..j)),
+    - (C.3) (5/6)·Vol(V) ≥ Vol(π̃_t(1..j)) ≥ (5/7)·2^{b-1}.
+
+    ApproximateNibble only inspects the O(φ⁻¹·log Vol) geometric
+    j-sequence (j_x) per step, testing (C.1)–(C.3) on sequence-dense
+    indices and the relaxed starred conditions C.1-star..C.3-star
+    otherwise — the variant that
+    admits the CONGEST implementation of Lemma 9. *)
+
+(** A cut found by a nibble, in ambient-graph vertex ids. *)
+type cut = {
+  vertices : int array; (** the prefix π̃_t(1..j), sorted *)
+  volume : int;
+  cut_edges : int;
+  conductance : float;
+  found_t : int; (** walk step at which the prefix passed *)
+  found_j : int; (** prefix length *)
+}
+
+(** Execution record: result plus the measured quantities that drive
+    round accounting (Lemma 9) and overlap accounting (Definition 2). *)
+type outcome = {
+  result : cut option;
+  src : int;
+  b : int;
+  steps_executed : int; (** walk steps actually run (≤ t₀) *)
+  candidates_tested : int; (** (t, j) pairs examined *)
+  rounds : int; (** simulated CONGEST rounds per the Lemma 9 cost model *)
+  participants : int array;
+  (** vertices u with p̃_t(u) > 0 for some t; these define the
+      participating edge set P-star of Definition 2 *)
+}
+
+(** [nibble params g ~src ~b] is the exact Nibble: every prefix tested
+    against (C.1)–(C.3). Reference implementation for tests. *)
+val nibble : Params.t -> Dex_graph.Graph.t -> src:int -> b:int -> outcome
+
+(** [approximate params g ~src ~b] is ApproximateNibble. *)
+val approximate : Params.t -> Dex_graph.Graph.t -> src:int -> b:int -> outcome
+
+(** [participating_edges g outcome] materializes P-star: the edges with at
+    least one endpoint in [outcome.participants], normalized (u ≤ v). *)
+val participating_edges : Dex_graph.Graph.t -> outcome -> (int * int) list

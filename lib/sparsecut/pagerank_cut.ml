@@ -1,0 +1,77 @@
+module Graph = Dex_graph.Graph
+module Metrics = Dex_graph.Metrics
+module Sweep = Dex_spectral.Sweep
+
+type t = {
+  cut : int array;
+  conductance : float;
+  balance : float;
+  pushes : int;
+  support : int;
+}
+
+let approximate_pagerank ?(alpha = 0.1) ?eps g ~src =
+  if alpha <= 0.0 || alpha >= 1.0 then invalid_arg "Pagerank_cut: alpha in (0,1)";
+  let m = max 1 (Graph.num_edges g) in
+  let eps = match eps with Some e -> e | None -> 1.0 /. (20.0 *. float_of_int m) in
+  if eps <= 0.0 then invalid_arg "Pagerank_cut: eps > 0";
+  let p = Hashtbl.create 64 in
+  let r = Hashtbl.create 64 in
+  Hashtbl.replace r src 1.0;
+  let get tbl v = try Hashtbl.find tbl v with Not_found -> 0.0 in
+  let add tbl v x = Hashtbl.replace tbl v (get tbl v +. x) in
+  (* work queue of vertices that may violate r(v) < eps·deg(v) *)
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let enqueue v =
+    if not (Hashtbl.mem queued v) then begin
+      Hashtbl.replace queued v ();
+      Queue.add v queue
+    end
+  in
+  enqueue src;
+  let pushes = ref 0 in
+  let push_limit = 64 * m in
+  while (not (Queue.is_empty queue)) && !pushes < push_limit do
+    let v = Queue.take queue in
+    Hashtbl.remove queued v;
+    let deg = float_of_int (Graph.degree g v) in
+    let rv = get r v in
+    if deg > 0.0 && rv >= eps *. deg then begin
+      incr pushes;
+      (* lazy ACL push: p += alpha·r(v); half of the rest stays, half
+         spreads over incident edges (self-loops included) *)
+      add p v (alpha *. rv);
+      let rest = (1.0 -. alpha) *. rv in
+      Hashtbl.replace r v (rest /. 2.0);
+      let share = rest /. 2.0 /. deg in
+      (* the self-loop share also stays home *)
+      if Graph.self_loops g v > 0 then
+        add r v (share *. float_of_int (Graph.self_loops g v));
+      Graph.iter_neighbors g v (fun u ->
+          add r u share;
+          let du = float_of_int (Graph.degree g u) in
+          if du > 0.0 && get r u >= eps *. du then enqueue u);
+      let dv = float_of_int (Graph.degree g v) in
+      if get r v >= eps *. dv then enqueue v
+    end
+  done;
+  (p, r, !pushes)
+
+let run ?alpha ?eps g ~src =
+  let p, _r, pushes = approximate_pagerank ?alpha ?eps g ~src in
+  if Hashtbl.length p = 0 then None
+  else begin
+    match Sweep.best_cut g p with
+    | None -> None
+    | Some (sweep, j) ->
+      let vertices = Sweep.take sweep j in
+      Array.sort compare vertices;
+      let pref = sweep.Sweep.prefixes.(j - 1) in
+      Some
+        { cut = vertices;
+          conductance = pref.Sweep.conductance;
+          balance = Metrics.balance g vertices;
+          pushes;
+          support = Hashtbl.length p }
+  end

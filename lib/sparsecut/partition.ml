@@ -1,0 +1,96 @@
+module Graph = Dex_graph.Graph
+module Metrics = Dex_graph.Metrics
+
+type t = {
+  cut : int array;
+  conductance : float;
+  balance : float;
+  rounds : int;
+  iterations : int;
+  aborted_copies : int;
+}
+
+let run ?p params g rng =
+  let n = Graph.num_vertices g in
+  let total_volume = Graph.total_volume g in
+  let p =
+    match p with
+    | Some p -> p
+    | None -> 1.0 /. Float.max 4.0 (float_of_int n ** 2.0)
+  in
+  if total_volume = 0 then
+    { cut = [||];
+      conductance = Float.infinity;
+      balance = 0.0;
+      rounds = 0;
+      iterations = 0;
+      aborted_copies = 0 }
+  else begin
+    let s = Params.partition_iterations params ~volume:total_volume ~p in
+    let threshold = 47 * total_volume / 48 in
+    let in_w = Array.make n true in
+    let w_volume = ref total_volume in
+    let removed = ref [] in
+    let rounds = ref 0 in
+    let iterations = ref 0 in
+    let aborted = ref 0 in
+    let idle = ref 0 in
+    let continue = ref true in
+    while !continue && !iterations < s do
+      incr iterations;
+      let w = Metrics.vertices_of_mask in_w in
+      if Array.length w = 0 then continue := false
+      else begin
+        let gw, mapping = Graph.saturated_subgraph g w in
+        let pn = Parallel_nibble.run params gw rng in
+        rounds := !rounds + pn.Parallel_nibble.rounds;
+        if pn.Parallel_nibble.aborted then incr aborted;
+        let cut = pn.Parallel_nibble.cut in
+        (* a nibble prefix may be the large side of its cut (C.3-star
+           allows up to 11/12 of the volume); peel the smaller side so
+           the running union stays a clean sparse cut *)
+        let cut =
+          if 2 * Graph.volume gw cut > Graph.total_volume gw then begin
+            let mask = Hashtbl.create (2 * Array.length cut) in
+            Array.iter (fun v -> Hashtbl.replace mask v ()) cut;
+            Array.init (Graph.num_vertices gw) (fun v -> v)
+            |> Array.to_list
+            |> List.filter (fun v -> not (Hashtbl.mem mask v))
+            |> Array.of_list
+          end
+          else cut
+        in
+        if Array.length cut = 0 then begin
+          incr idle;
+          if !idle >= params.Params.idle_limit then continue := false
+        end
+        else begin
+          idle := 0;
+          Array.iter
+            (fun sub_v ->
+              let v = mapping.(sub_v) in
+              if in_w.(v) then begin
+                in_w.(v) <- false;
+                w_volume := !w_volume - Graph.degree g v;
+                removed := v :: !removed
+              end)
+            cut;
+          if !w_volume <= threshold then continue := false
+        end
+      end
+    done;
+    let cut = Array.of_list !removed in
+    Array.sort compare cut;
+    let conductance =
+      if Array.length cut = 0 then Float.infinity else Metrics.conductance g cut
+    in
+    let balance = if Array.length cut = 0 then 0.0 else Metrics.balance g cut in
+    { cut;
+      conductance;
+      balance;
+      rounds = !rounds;
+      iterations = !iterations;
+      aborted_copies = !aborted }
+  end
+
+let certified_no_sparse_cut t = Array.length t.cut = 0

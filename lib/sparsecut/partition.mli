@@ -1,0 +1,32 @@
+(** Partition — the nearly most balanced sparse cut (Theorem 3,
+    Appendix A.4).
+
+    Runs ParallelNibble on the remaining graph G{W_{i-1}} for up to s
+    iterations, peeling each returned cut off, and stops as soon as
+    the peeled volume reaches (1/48)·Vol(V) (i.e. Vol(W_i) ≤
+    (47/48)·Vol(V)). Theorem 3 guarantees, w.h.p., that when
+    Φ(G) ≤ φ the union C has bal(C) ≥ min{b/2, 1/48} — b the balance
+    of a most balanced φ-conductance cut — and
+    Φ(C) = O(φ^{1/3}·log^{5/3} n); when Φ(G) > φ the output is ∅ or
+    still O(φ^{1/3}·log^{5/3} n)-sparse.
+
+    With the [Practical] preset the iteration count s is capped and
+    the loop additionally stops after [idle_limit] consecutive empty
+    ParallelNibble results (a Monte-Carlo shortcut; see DESIGN.md §2). *)
+
+type t = {
+  cut : int array; (** C, sorted; may be empty *)
+  conductance : float; (** Φ(C) in the input graph; infinity if empty *)
+  balance : float; (** bal(C) *)
+  rounds : int; (** total simulated rounds (Lemma 11 accounting) *)
+  iterations : int; (** ParallelNibble calls performed *)
+  aborted_copies : int; (** ParallelNibble calls that hit the w-cap *)
+}
+
+(** [run ?p params g rng] executes Partition(G, φ, p); [p] is the
+    failure probability driving the iteration count (default 1/n²). *)
+val run : ?p:float -> Params.t -> Dex_graph.Graph.t -> Dex_util.Rng.t -> t
+
+(** [certified_no_sparse_cut t] is [true] when Partition returned ∅ —
+    the caller treats the graph as a φ-expander (Theorem 3, case 2). *)
+val certified_no_sparse_cut : t -> bool

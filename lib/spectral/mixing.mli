@@ -1,0 +1,30 @@
+(** Mixing time and spectral gap estimation.
+
+    Section 1 of the paper uses the Jerrum–Sinclair relation
+    Θ(1/Φ) ≤ τ_mix ≤ Θ(log n / Φ²). The routing layer needs a
+    concrete τ_mix for its cost model; we measure it by running the
+    lazy walk until the relative ∞-distance to stationarity drops
+    below a threshold, and we estimate the spectral gap by power
+    iteration on the normalized lazy walk matrix. *)
+
+(** [mixing_time ?threshold ?max_steps ?samples g rng] is the number
+    of lazy-walk steps after which, for each of [samples] random start
+    vertices (degree-weighted), every vertex satisfies
+    [|p_t(u) - π(u)| ≤ threshold·π(u)] (default threshold 0.25).
+    Returns [max_steps] (default 4·n) if never reached — e.g. on
+    disconnected graphs. *)
+val mixing_time :
+  ?threshold:float -> ?max_steps:int -> ?samples:int ->
+  Dex_graph.Graph.t -> Dex_util.Rng.t -> int
+
+(** [spectral_gap ?iters g rng] estimates 1 - λ₂ of the lazy walk
+    matrix via power iteration with deflation of the stationary
+    direction; the Cheeger bounds give gap/1 ≤ Φ ≤ √(2·gap) for the
+    normalized gap 2·(lazy gap). Also returns the (approximate)
+    second eigenvector, usable for a sweep-cut baseline. *)
+val spectral_gap :
+  ?iters:int -> Dex_graph.Graph.t -> Dex_util.Rng.t -> float * float array
+
+(** [second_eigenvector ?iters g rng] is just the vector part. *)
+val second_eigenvector :
+  ?iters:int -> Dex_graph.Graph.t -> Dex_util.Rng.t -> float array

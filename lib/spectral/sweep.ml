@@ -1,0 +1,75 @@
+module Graph = Dex_graph.Graph
+
+type prefix = {
+  len : int;
+  volume : int;
+  cut : int;
+  conductance : float;
+  last_rho : float;
+}
+
+type t = { ordered : int array; prefixes : prefix array }
+
+let take sweep j =
+  if j < 0 || j > Array.length sweep.ordered then invalid_arg "Sweep.take";
+  Array.sub sweep.ordered 0 j
+
+let order g p =
+  let entries =
+    Hashtbl.fold (fun v mass acc -> (v, mass) :: acc) p []
+    |> List.filter (fun (v, _) -> Graph.degree g v > 0)
+    |> List.map (fun (v, mass) -> (v, mass /. float_of_int (Graph.degree g v)))
+  in
+  let sorted =
+    List.sort
+      (fun (v1, r1) (v2, r2) ->
+        match compare r2 r1 with 0 -> compare v1 v2 | c -> c)
+      entries
+  in
+  Array.of_list (List.map fst sorted)
+
+let scan_order g ordered rho_of =
+  let total_volume = Graph.total_volume g in
+  let n = Array.length ordered in
+  let in_set = Hashtbl.create (2 * n) in
+  let volume = ref 0 in
+  let cut = ref 0 in
+  let dummy = { len = 0; volume = 0; cut = 0; conductance = 0.0; last_rho = 0.0 } in
+  let prefixes = Array.make n dummy in
+  for j = 0 to n - 1 do
+    let v = ordered.(j) in
+    let inside = ref 0 in
+    Graph.iter_neighbors g v (fun u -> if Hashtbl.mem in_set u then incr inside);
+    Hashtbl.replace in_set v ();
+    volume := !volume + Graph.degree g v;
+    cut := !cut + Graph.plain_degree g v - (2 * !inside);
+    let small = min !volume (total_volume - !volume) in
+    let conductance =
+      if small <= 0 then Float.infinity else float_of_int !cut /. float_of_int small
+    in
+    prefixes.(j) <-
+      { len = j + 1; volume = !volume; cut = !cut; conductance; last_rho = rho_of v }
+  done;
+  { ordered; prefixes }
+
+let scan g p = scan_order g (order g p) (fun v -> Walk.rho g p v)
+
+let best_cut g p =
+  let sweep = scan g p in
+  let best = ref None in
+  Array.iter
+    (fun pref ->
+      if Float.is_finite pref.conductance then
+        match !best with
+        | None -> best := Some pref
+        | Some b -> if pref.conductance < b.conductance then best := Some pref)
+    sweep.prefixes;
+  Option.map (fun pref -> (sweep, pref.len)) !best
+
+let scan_vector g x =
+  let n = Graph.num_vertices g in
+  let idx = Array.init n (fun v -> v) in
+  Array.sort
+    (fun a b -> match compare x.(b) x.(a) with 0 -> compare a b | c -> c)
+    idx;
+  scan_order g idx (fun v -> x.(v))

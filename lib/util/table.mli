@@ -1,0 +1,21 @@
+(** Aligned plain-text tables for the benchmark harness. *)
+
+type t
+
+(** [create ~title headers] starts a table. *)
+val create : title:string -> string list -> t
+
+(** [add_row t cells] appends a row; short rows are padded. *)
+val add_row : t -> string list -> unit
+
+(** [render t] is the aligned textual rendering (with title and rule). *)
+val render : t -> string
+
+(** [print t] writes [render t] to stdout. *)
+val print : t -> unit
+
+(** Formatting helpers shared by the bench harness. *)
+
+val fmt_float : float -> string
+val fmt_int : int -> string
+val fmt_pct : float -> string

@@ -1,0 +1,26 @@
+let check_delta delta =
+  if delta <= 0.0 || delta > 1.0 then invalid_arg "Tail_bounds: delta in (0, 1]"
+
+let chernoff_upper ~mu ~delta =
+  check_delta delta;
+  if mu < 0.0 then invalid_arg "Tail_bounds: mu >= 0";
+  Float.min 1.0 (exp (-.(delta *. delta *. mu) /. 3.0))
+
+let chernoff_lower ~mu ~delta =
+  check_delta delta;
+  if mu < 0.0 then invalid_arg "Tail_bounds: mu >= 0";
+  Float.min 1.0 (exp (-.(delta *. delta *. mu) /. 2.0))
+
+let bounded_dependence_upper ~mu ~delta ~d =
+  check_delta delta;
+  if d < 1.0 then invalid_arg "Tail_bounds: d >= 1";
+  Float.min 1.0 (d *. exp (-.(delta *. delta *. mu) /. (3.0 *. d)))
+
+let ldd_failure_probability ~m ~beta ~k_ln =
+  if m < 1 then invalid_arg "Tail_bounds: m >= 1";
+  if beta <= 0.0 || beta >= 1.0 then invalid_arg "Tail_bounds: beta in (0,1)";
+  if k_ln <= 0.0 then invalid_arg "Tail_bounds: k_ln > 0";
+  (* Lemma 13: μ = 2βm, δ = 1/2, dependence d = βm/(K ln n) *)
+  let mu = 2.0 *. beta *. float_of_int m in
+  let d = Float.max 1.0 (beta *. float_of_int m /. k_ln) in
+  bounded_dependence_upper ~mu ~delta:0.5 ~d

@@ -1,0 +1,28 @@
+(** Concentration bounds used by the paper's analyses.
+
+    Lemma 13 bounds the number of inter-cluster edges with a Chernoff
+    bound for random variables of bounded dependence (Pemmaraju,
+    "Equitable coloring extends Chernoff–Hoeffding bounds"): if each
+    X_e depends on at most [d] others, then
+
+    Pr[X ≥ (1+δ)μ] ≤ O(d)·exp(-Ω(δ²μ/d)).
+
+    These helpers evaluate the bounds so benches can print the
+    certified failure probability next to the measured quantity. *)
+
+(** [chernoff_upper ~mu ~delta] is the classic independent-case bound
+    exp(-δ²μ/3) on Pr[X ≥ (1+δ)μ], for δ in (0, 1]. *)
+val chernoff_upper : mu:float -> delta:float -> float
+
+(** [chernoff_lower ~mu ~delta] bounds Pr[X ≤ (1-δ)μ] by exp(-δ²μ/2). *)
+val chernoff_lower : mu:float -> delta:float -> float
+
+(** [bounded_dependence_upper ~mu ~delta ~d] is Pemmaraju's bound
+    with dependence degree [d ≥ 1]: d·exp(-δ²μ/(3d)). *)
+val bounded_dependence_upper : mu:float -> delta:float -> d:float -> float
+
+(** [ldd_failure_probability ~m ~beta ~k_ln] evaluates the Lemma 13
+    certificate for a graph with [m] edges at parameter [beta], where
+    the dependence degree is d = β·m/(K·ln n) with [k_ln] = K·ln n:
+    the probability that more than 3β·m edges are cut. *)
+val ldd_failure_probability : m:int -> beta:float -> k_ln:float -> float

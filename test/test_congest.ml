@@ -1,0 +1,250 @@
+(* Tests for the CONGEST kernel: the rounds ledger, message delivery,
+   the congestion discipline (failure injection), and the executed
+   primitives (BFS tree, leader election, tree aggregation). *)
+
+module Graph = Dex_graph.Graph
+module Metrics = Dex_graph.Metrics
+module Gen = Dex_graph.Generators
+module Rounds = Dex_congest.Rounds
+module Network = Dex_congest.Network
+module Primitives = Dex_congest.Primitives
+module Rng = Dex_util.Rng
+
+let fresh_net ?word_size g =
+  let ledger = Rounds.create () in
+  Network.create ?word_size g ledger
+
+(* ---------- rounds ledger ---------- *)
+
+let test_rounds_ledger () =
+  let r = Rounds.create () in
+  Alcotest.(check int) "empty" 0 (Rounds.total r);
+  Rounds.charge r ~label:"a" 3;
+  Rounds.charge r ~label:"b" 5;
+  Rounds.charge r ~label:"a" 2;
+  Alcotest.(check int) "total" 10 (Rounds.total r);
+  Alcotest.(check (list (pair string int))) "by phase" [ ("b", 5); ("a", 5) ]
+    (Rounds.by_phase r);
+  let r2 = Rounds.create () in
+  Rounds.charge r2 ~label:"c" 1;
+  Rounds.merge ~into:r r2;
+  Alcotest.(check int) "merged" 11 (Rounds.total r);
+  Rounds.reset r;
+  Alcotest.(check int) "reset" 0 (Rounds.total r);
+  Alcotest.check_raises "negative" (Invalid_argument "Rounds.charge: negative round count")
+    (fun () -> Rounds.charge r ~label:"x" (-1))
+
+(* ---------- message passing ---------- *)
+
+(* a 2-round protocol: round 1 everyone sends its id+100 to neighbors;
+   round 2 everyone records the max received *)
+let test_basic_exchange () =
+  let g = Gen.cycle 5 in
+  let net = fresh_net g in
+  let step ~round ~vertex st inbox =
+    if round = 1 then
+      let out = ref [] in
+      Graph.iter_neighbors g vertex (fun u -> out := (u, [| vertex + 100 |]) :: !out);
+      (st, !out)
+    else begin
+      let best = List.fold_left (fun acc (_, m) -> max acc m.(0)) st inbox in
+      (best, [])
+    end
+  in
+  let states = Network.run_rounds net ~label:"exchange" ~init:(fun _ -> -1) ~step 2 in
+  Alcotest.(check int) "vertex 0 saw 104" 104 states.(0);
+  Alcotest.(check int) "vertex 2 saw 103" 103 states.(2);
+  Alcotest.(check int) "messages" 10 (Network.messages_sent net);
+  Alcotest.(check int) "rounds charged" 2 (Rounds.total (Network.rounds net))
+
+(* ---------- failure injection: the congestion discipline ---------- *)
+
+let expect_congestion f =
+  match f () with
+  | exception Network.Congestion_violation _ -> ()
+  | _ -> Alcotest.fail "expected Congestion_violation"
+
+let test_rejects_non_neighbor () =
+  let g = Gen.path 3 in
+  let net = fresh_net g in
+  expect_congestion (fun () ->
+      Network.run_rounds net ~label:"bad"
+        ~init:(fun _ -> ())
+        ~step:(fun ~round:_ ~vertex st _ ->
+          if vertex = 0 then (st, [ (2, [| 1 |]) ]) else (st, []))
+        1)
+
+let test_rejects_double_send () =
+  let g = Gen.path 3 in
+  let net = fresh_net g in
+  expect_congestion (fun () ->
+      Network.run_rounds net ~label:"bad"
+        ~init:(fun _ -> ())
+        ~step:(fun ~round:_ ~vertex st _ ->
+          if vertex = 0 then (st, [ (1, [| 1 |]); (1, [| 2 |]) ]) else (st, []))
+        1)
+
+let test_rejects_oversized_message () =
+  let g = Gen.path 3 in
+  let net = fresh_net ~word_size:2 g in
+  expect_congestion (fun () ->
+      Network.run_rounds net ~label:"bad"
+        ~init:(fun _ -> ())
+        ~step:(fun ~round:_ ~vertex st _ ->
+          if vertex = 0 then (st, [ (1, [| 1; 2; 3 |]) ]) else (st, []))
+        1)
+
+let test_rejects_self_message () =
+  let g = Graph.of_edges ~n:2 [ (0, 1); (0, 0) ] in
+  let net = fresh_net g in
+  expect_congestion (fun () ->
+      Network.run_rounds net ~label:"bad"
+        ~init:(fun _ -> ())
+        ~step:(fun ~round:_ ~vertex st _ ->
+          if vertex = 0 then (st, [ (0, [| 1 |]) ]) else (st, []))
+        1)
+
+let test_run_timeout () =
+  let g = Gen.path 3 in
+  let net = fresh_net g in
+  match
+    Network.run net ~label:"never"
+      ~init:(fun _ -> ())
+      ~step:(fun ~round:_ ~vertex:_ st _ -> (st, []))
+      ~finished:(fun _ -> false)
+      ~max_rounds:10 ()
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected timeout failure"
+
+(* ---------- primitives ---------- *)
+
+let test_bfs_tree_matches_metrics () =
+  let rng = Rng.create 12 in
+  let g = Gen.connectivize rng (Gen.gnp rng ~n:40 ~p:0.08) in
+  let net = fresh_net g in
+  let tree = Primitives.bfs_tree net ~root:0 in
+  let reference = Metrics.bfs_distances g 0 in
+  Alcotest.(check (array int)) "depths equal BFS distances" reference tree.Primitives.depth;
+  Alcotest.(check int) "root parent" 0 tree.Primitives.parent.(0);
+  (* parent is one step closer *)
+  Array.iteri
+    (fun v d ->
+      if v <> 0 && d <> max_int then
+        Alcotest.(check int) "parent depth" (d - 1) tree.Primitives.depth.(tree.Primitives.parent.(v)))
+    tree.Primitives.depth;
+  Alcotest.(check int) "members count" 40 (Array.length tree.Primitives.members);
+  Alcotest.(check bool) "rounds ≈ height" true
+    (Rounds.total (Network.rounds net) >= tree.Primitives.height)
+
+let test_bfs_tree_partial_component () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (1, 2) ] in
+  let net = fresh_net g in
+  let tree = Primitives.bfs_tree net ~root:0 in
+  Alcotest.(check int) "component size" 3 (Array.length tree.Primitives.members);
+  Alcotest.(check int) "outside parent" (-1) tree.Primitives.parent.(4)
+
+let test_leader_election () =
+  let g = Graph.of_edges ~n:6 [ (3, 4); (4, 5); (1, 2) ] in
+  let net = fresh_net g in
+  let leaders = Primitives.elect_leader net in
+  Alcotest.(check int) "comp {3,4,5}" 3 leaders.(5);
+  Alcotest.(check int) "comp {1,2}" 1 leaders.(2);
+  Alcotest.(check int) "isolated" 0 leaders.(0)
+
+let test_convergecast () =
+  let g = Gen.path 8 in
+  let net = fresh_net g in
+  let tree = Primitives.bfs_tree net ~root:0 in
+  let values = Array.init 8 (fun i -> i) in
+  Alcotest.(check int) "sum" 28 (Primitives.convergecast_sum net tree ~label:"sum" values);
+  Alcotest.(check int) "min" 0 (Primitives.convergecast_min net tree ~label:"min" values);
+  let before = Rounds.total (Network.rounds net) in
+  Primitives.pipelined_broadcast net tree ~label:"pipe" ~words:5;
+  Alcotest.(check int) "pipelined cost" (before + tree.Primitives.height + 5)
+    (Rounds.total (Network.rounds net))
+
+let test_subnetwork () =
+  let g = Gen.cycle 6 in
+  let net = fresh_net g in
+  let sub, mapping = Primitives.subnetwork net [| 0; 1; 2 |] in
+  Alcotest.(check int) "sub size" 3 (Graph.num_vertices (Network.graph sub));
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 2 |] mapping;
+  (* shared ledger *)
+  Network.charge sub ~label:"x" 4;
+  Alcotest.(check int) "ledger shared" 4 (Rounds.total (Network.rounds net))
+
+(* ---------- congested clique ---------- *)
+
+module Clique = Dex_congest.Clique
+
+let test_clique_exchange () =
+  (* round 1: everyone sends its id to everyone; round 2: record sum *)
+  let ledger = Rounds.create () in
+  let clq = Clique.create ~n:5 ledger in
+  let step ~round ~vertex st inbox =
+    if round = 1 then
+      (st, List.filter_map (fun u -> if u = vertex then None else Some (u, [| vertex |]))
+             (List.init 5 (fun i -> i)))
+    else (List.fold_left (fun acc (_, m) -> acc + m.(0)) st inbox, [])
+  in
+  let states = Clique.run_rounds clq ~label:"clique" ~init:(fun _ -> 0) ~step 2 in
+  (* vertex v receives all ids but its own: sum = 10 - v *)
+  Array.iteri (fun v s -> Alcotest.(check int) "sum" (10 - v) s) states;
+  Alcotest.(check int) "messages" 20 (Clique.messages_sent clq);
+  Alcotest.(check int) "rounds" 2 (Rounds.total ledger)
+
+let test_clique_rejects_self_and_double () =
+  let expect f =
+    match f () with
+    | exception Clique.Congestion_violation _ -> ()
+    | _ -> Alcotest.fail "expected Congestion_violation"
+  in
+  let mk () = Clique.create ~n:3 (Rounds.create ()) in
+  expect (fun () ->
+      Clique.run_rounds (mk ()) ~label:"bad" ~init:(fun _ -> ())
+        ~step:(fun ~round:_ ~vertex st _ ->
+          if vertex = 0 then (st, [ (0, [| 1 |]) ]) else (st, []))
+        1);
+  expect (fun () ->
+      Clique.run_rounds (mk ()) ~label:"bad" ~init:(fun _ -> ())
+        ~step:(fun ~round:_ ~vertex st _ ->
+          if vertex = 0 then (st, [ (1, [| 1 |]); (1, [| 2 |]) ]) else (st, []))
+        1);
+  expect (fun () ->
+      Clique.run_rounds (mk ()) ~label:"bad" ~init:(fun _ -> ())
+        ~step:(fun ~round:_ ~vertex st _ ->
+          if vertex = 0 then (st, [ (1, [| 1; 2 |]) ]) else (st, []))
+        1)
+
+let prop_bfs_depth_eq_distance =
+  QCheck.Test.make ~name:"protocol BFS = centralized BFS" ~count:40
+    QCheck.(pair (int_range 2 30) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.connectivize rng (Gen.gnp rng ~n ~p:0.15) in
+      let net = fresh_net g in
+      let tree = Primitives.bfs_tree net ~root:(seed mod n) in
+      tree.Primitives.depth = Metrics.bfs_distances g (seed mod n))
+
+let () =
+  Alcotest.run "congest"
+    [ ("ledger", [ Alcotest.test_case "rounds ledger" `Quick test_rounds_ledger ]);
+      ( "kernel",
+        [ Alcotest.test_case "basic exchange" `Quick test_basic_exchange;
+          Alcotest.test_case "rejects non-neighbor" `Quick test_rejects_non_neighbor;
+          Alcotest.test_case "rejects double send" `Quick test_rejects_double_send;
+          Alcotest.test_case "rejects oversized" `Quick test_rejects_oversized_message;
+          Alcotest.test_case "rejects self message" `Quick test_rejects_self_message;
+          Alcotest.test_case "run timeout" `Quick test_run_timeout ] );
+      ( "primitives",
+        [ Alcotest.test_case "bfs tree" `Quick test_bfs_tree_matches_metrics;
+          Alcotest.test_case "bfs partial component" `Quick test_bfs_tree_partial_component;
+          Alcotest.test_case "leader election" `Quick test_leader_election;
+          Alcotest.test_case "convergecast" `Quick test_convergecast;
+          Alcotest.test_case "subnetwork" `Quick test_subnetwork;
+          QCheck_alcotest.to_alcotest prop_bfs_depth_eq_distance ] );
+      ( "clique",
+        [ Alcotest.test_case "all-to-all exchange" `Quick test_clique_exchange;
+          Alcotest.test_case "congestion rejections" `Quick
+            test_clique_rejects_self_and_double ] ) ]

@@ -1,0 +1,315 @@
+(* Tests for Dex_graph.Graph and Dex_graph.Metrics: representation
+   invariants, the self-loop degree convention, subgraph operators
+   G[S] / G{S}, and the cut metrics of the paper's Section 1. *)
+
+module Graph = Dex_graph.Graph
+module Metrics = Dex_graph.Metrics
+module Gen = Dex_graph.Generators
+module Rng = Dex_util.Rng
+
+let triangle_plus_pendant () =
+  (* 0-1-2 triangle with a pendant 3 attached to 0 *)
+  Graph.of_edges ~n:4 [ (0, 1); (1, 2); (0, 2); (0, 3) ]
+
+let random_graph seed n p =
+  let rng = Rng.create seed in
+  Gen.gnp rng ~n ~p
+
+(* ---------- construction and degrees ---------- *)
+
+let test_basic_counts () =
+  let g = triangle_plus_pendant () in
+  Alcotest.(check int) "n" 4 (Graph.num_vertices g);
+  Alcotest.(check int) "m" 4 (Graph.num_edges g);
+  Alcotest.(check int) "deg 0" 3 (Graph.degree g 0);
+  Alcotest.(check int) "deg 3" 1 (Graph.degree g 3);
+  Alcotest.(check int) "total volume" 8 (Graph.total_volume g);
+  Graph.check g
+
+let test_self_loops_count_one () =
+  let g = Graph.of_edges ~n:2 [ (0, 1); (0, 0); (0, 0) ] in
+  Alcotest.(check int) "deg with loops" 3 (Graph.degree g 0);
+  Alcotest.(check int) "plain degree" 1 (Graph.plain_degree g 0);
+  Alcotest.(check int) "self loops" 2 (Graph.self_loops g 0);
+  Alcotest.(check int) "edges include loops" 3 (Graph.num_edges g);
+  Alcotest.(check int) "volume" 4 (Graph.total_volume g);
+  Graph.check g
+
+let test_mem_edge () =
+  let g = triangle_plus_pendant () in
+  Alcotest.(check bool) "0-1" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "1-0" true (Graph.mem_edge g 1 0);
+  Alcotest.(check bool) "1-3" false (Graph.mem_edge g 1 3);
+  Alcotest.(check bool) "no loop" false (Graph.mem_edge g 0 0)
+
+let test_out_of_range () =
+  Alcotest.check_raises "bad endpoint"
+    (Invalid_argument "Graph.of_edges: endpoint out of range") (fun () ->
+      ignore (Graph.of_edges ~n:2 [ (0, 5) ]))
+
+let test_iter_edges_roundtrip () =
+  let g = triangle_plus_pendant () in
+  let edges = Graph.edges g in
+  Alcotest.(check int) "count" 4 (List.length edges);
+  let g2 = Graph.of_edges ~n:4 edges in
+  Alcotest.(check int) "same m" (Graph.num_edges g) (Graph.num_edges g2);
+  for v = 0 to 3 do
+    Alcotest.(check int) "same degree" (Graph.degree g v) (Graph.degree g2 v)
+  done
+
+(* ---------- subgraphs ---------- *)
+
+let test_induced_subgraph () =
+  let g = triangle_plus_pendant () in
+  let sub, mapping = Graph.induced_subgraph g [| 0; 1; 2 |] in
+  Alcotest.(check int) "sub n" 3 (Graph.num_vertices sub);
+  Alcotest.(check int) "sub m" 3 (Graph.num_edges sub);
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 2 |] mapping;
+  (* vertex 0 lost its pendant edge: degree drops *)
+  Alcotest.(check int) "induced degree drops" 2 (Graph.degree sub 0)
+
+let test_saturated_subgraph_preserves_degrees () =
+  let g = triangle_plus_pendant () in
+  let sub, mapping = Graph.saturated_subgraph g [| 0; 1; 2 |] in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int)
+        (Printf.sprintf "degree preserved at %d" v)
+        (Graph.degree g v) (Graph.degree sub i))
+    mapping;
+  Alcotest.(check int) "loop added at cut endpoint" 1 (Graph.self_loops sub 0);
+  Graph.check sub
+
+let test_remove_edges_adds_loops () =
+  let g = triangle_plus_pendant () in
+  let g' = Graph.remove_edges g [ (0, 1); (3, 0) ] in
+  Alcotest.(check int) "degree never changes (0)" (Graph.degree g 0) (Graph.degree g' 0);
+  Alcotest.(check int) "degree never changes (3)" (Graph.degree g 3) (Graph.degree g' 3);
+  Alcotest.(check bool) "edge gone" false (Graph.mem_edge g' 0 1);
+  Alcotest.(check int) "loop at 3" 1 (Graph.self_loops g' 3);
+  Alcotest.(check int) "plain m" 2 (Graph.num_plain_edges g');
+  Graph.check g'
+
+let test_with_self_loops_validation () =
+  let g = Gen.path 3 in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Graph.with_self_loops: length mismatch") (fun () ->
+      ignore (Graph.with_self_loops g [| 1 |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Graph.with_self_loops: negative at 1") (fun () ->
+      ignore (Graph.with_self_loops g [| 0; -1; 0 |]));
+  let g' = Graph.with_self_loops g [| 2; 0; 0 |] in
+  Alcotest.(check int) "loops added" 2 (Graph.self_loops g' 0);
+  Alcotest.(check int) "degree grows" 3 (Graph.degree g' 0)
+
+let test_empty_graph () =
+  let g = Graph.empty 4 in
+  Alcotest.(check int) "no edges" 0 (Graph.num_edges g);
+  Alcotest.(check int) "volume" 0 (Graph.total_volume g);
+  Graph.check g
+
+(* ---------- metrics ---------- *)
+
+let test_cut_and_conductance () =
+  let g = triangle_plus_pendant () in
+  (* S = {3}: one crossing edge, Vol = 1 *)
+  Alcotest.(check int) "cut {3}" 1 (Metrics.cut_size g [| 3 |]);
+  Alcotest.(check (float 1e-9)) "phi {3}" 1.0 (Metrics.conductance g [| 3 |]);
+  (* S = {0,3}: edges 0-1 and 0-2 cross *)
+  Alcotest.(check int) "cut {0,3}" 2 (Metrics.cut_size g [| 0; 3 |]);
+  Alcotest.(check (float 1e-9)) "phi {0,3}" 0.5 (Metrics.conductance g [| 0; 3 |]);
+  Alcotest.(check (float 1e-9)) "balance {0,3}" 0.5 (Metrics.balance g [| 0; 3 |])
+
+let test_conductance_symmetric () =
+  let g = random_graph 3 24 0.2 in
+  let rng = Rng.create 9 in
+  for _ = 1 to 20 do
+    let size = 1 + Rng.int rng 22 in
+    let s = Rng.sample_without_replacement rng ~n:24 ~k:size in
+    let s_bar = Metrics.complement g s in
+    let c1 = Metrics.conductance g s and c2 = Metrics.conductance g s_bar in
+    if Float.is_finite c1 || Float.is_finite c2 then
+      Alcotest.(check (float 1e-9)) "phi(S) = phi(S̄)" c1 c2
+  done
+
+let test_components () =
+  let g = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (3, 4) ] in
+  let comps = Metrics.connected_components g in
+  Alcotest.(check int) "3 components" 3 (List.length comps);
+  Alcotest.(check (array int)) "largest first" [| 0; 1; 2 |] (List.hd comps);
+  Alcotest.(check bool) "not connected" false (Metrics.is_connected g);
+  Alcotest.(check bool) "path connected" true (Metrics.is_connected (Gen.path 5))
+
+let test_bfs_and_diameter () =
+  let g = Gen.path 10 in
+  let dist = Metrics.bfs_distances g 0 in
+  Alcotest.(check int) "dist to end" 9 dist.(9);
+  Alcotest.(check int) "diameter path" 9 (Metrics.diameter g);
+  Alcotest.(check int) "2sweep finds it" 9 (Metrics.diameter_2sweep g);
+  Alcotest.(check int) "cycle diameter" 5 (Metrics.diameter (Gen.cycle 10));
+  Alcotest.(check int) "complete diameter" 1 (Metrics.diameter (Gen.complete 5));
+  Alcotest.(check int) "eccentricity middle" 5 (Metrics.eccentricity g 4)
+
+let test_multi_source_bfs () =
+  let g = Gen.path 10 in
+  let dist = Metrics.bfs_multi_distances g [| 0; 9 |] in
+  Alcotest.(check int) "middle" 4 dist.(4);
+  Alcotest.(check int) "near right" 1 dist.(8)
+
+let test_degeneracy () =
+  Alcotest.(check int) "tree degeneracy" 1 (Metrics.degeneracy (Gen.binary_tree 4));
+  Alcotest.(check int) "K5 degeneracy" 4 (Metrics.degeneracy (Gen.complete 5));
+  Alcotest.(check int) "cycle degeneracy" 2 (Metrics.degeneracy (Gen.cycle 8));
+  Alcotest.(check int) "grid degeneracy" 2 (Metrics.degeneracy (Gen.grid 5 5))
+
+let test_partition_checks () =
+  let g = Gen.path 4 in
+  Metrics.check_partition g [ [| 0; 1 |]; [| 2; 3 |] ];
+  Alcotest.(check int) "inter edges" 1
+    (Metrics.inter_component_edges g [ [| 0; 1 |]; [| 2; 3 |] ]);
+  Alcotest.check_raises "missing vertex"
+    (Invalid_argument "Metrics.check_partition: vertex 3 uncovered") (fun () ->
+      Metrics.check_partition g [ [| 0; 1 |]; [| 2 |] ]);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Metrics.check_partition: vertex appears twice") (fun () ->
+      Metrics.check_partition g [ [| 0; 1 |]; [| 1; 2; 3 |] ])
+
+let test_subset_diameter () =
+  let g = Gen.cycle 12 in
+  Alcotest.(check int) "arc of 4" 3 (Metrics.subset_diameter g [| 0; 1; 2; 3 |])
+
+(* ---------- properties ---------- *)
+
+let graph_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 24 in
+    let* edges =
+      list_size (int_range 0 60) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    in
+    return (Graph.of_edges ~n edges))
+
+let arb_graph = QCheck.make graph_gen
+
+let prop_invariants =
+  QCheck.Test.make ~name:"graph invariants hold" ~count:200 arb_graph (fun g ->
+      Graph.check g;
+      true)
+
+let prop_volume_split =
+  QCheck.Test.make ~name:"Vol(S) + Vol(S̄) = Vol(V)" ~count:200 arb_graph (fun g ->
+      let n = Graph.num_vertices g in
+      let s = Array.init (n / 2) (fun i -> i) in
+      let s_bar = Metrics.complement g s in
+      Graph.volume g s + Graph.volume g s_bar = Graph.total_volume g)
+
+let prop_cut_bounded =
+  QCheck.Test.make ~name:"cut ≤ min volume side" ~count:200 arb_graph (fun g ->
+      let n = Graph.num_vertices g in
+      let s = Array.init (max 1 (n / 2)) (fun i -> i) in
+      let cut = Metrics.cut_size g s in
+      let vol_s = Graph.volume g s in
+      let vol_rest = Graph.total_volume g - vol_s in
+      cut <= vol_s && cut <= max cut vol_rest)
+
+let prop_remove_edges_degree_invariant =
+  QCheck.Test.make ~name:"remove_edges preserves degrees" ~count:200 arb_graph (fun g ->
+      let edges = Graph.edges g in
+      let g' = Graph.remove_edges g edges in
+      let ok = ref (Graph.num_plain_edges g' = 0) in
+      for v = 0 to Graph.num_vertices g - 1 do
+        if Graph.degree g v <> Graph.degree g' v then ok := false
+      done;
+      !ok)
+
+let prop_saturated_degrees =
+  QCheck.Test.make ~name:"G{S} preserves degrees" ~count:200 arb_graph (fun g ->
+      let n = Graph.num_vertices g in
+      let s = Array.init ((n + 1) / 2) (fun i -> i * 2 mod n) in
+      let s = Array.of_list (List.sort_uniq compare (Array.to_list s)) in
+      let sub, mapping = Graph.saturated_subgraph g s in
+      let ok = ref true in
+      Array.iteri
+        (fun i v -> if Graph.degree sub i <> Graph.degree g v then ok := false)
+        mapping;
+      !ok)
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components form a partition" ~count:200 arb_graph (fun g ->
+      let comps = Metrics.connected_components g in
+      Metrics.check_partition g comps;
+      Metrics.inter_component_edges g comps = 0)
+
+(* ---------- serialization ---------- *)
+
+module Io = Dex_graph.Graph_io
+
+let test_io_roundtrip () =
+  let g = triangle_plus_pendant () in
+  let g2 = Io.parse (Io.to_string g) in
+  Alcotest.(check int) "n" (Graph.num_vertices g) (Graph.num_vertices g2);
+  Alcotest.(check int) "m" (Graph.num_edges g) (Graph.num_edges g2);
+  for v = 0 to 3 do
+    Alcotest.(check int) "degree" (Graph.degree g v) (Graph.degree g2 v)
+  done
+
+let test_io_parse_features () =
+  let g = Io.parse "# header\nn 5\n0 1\n1\t2\n\n3 3\n" in
+  Alcotest.(check int) "n declared" 5 (Graph.num_vertices g);
+  Alcotest.(check int) "edges with loop" 3 (Graph.num_edges g);
+  Alcotest.(check int) "self loop" 1 (Graph.self_loops g 3);
+  let g2 = Io.parse "0 7\n" in
+  Alcotest.(check int) "n inferred" 8 (Graph.num_vertices g2)
+
+let test_io_errors () =
+  (match Io.parse "0 x\n" with
+  | exception Failure msg ->
+    Alcotest.(check bool) "line number in message" true
+      (String.length msg >= 4 && String.sub msg 0 4 = "line")
+  | _ -> Alcotest.fail "expected parse failure");
+  match Io.parse "n 2\n0 5\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected out-of-range failure"
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"serialization roundtrip" ~count:100 arb_graph (fun g ->
+      let g2 = Io.parse (Io.to_string g) in
+      Graph.num_vertices g = Graph.num_vertices g2
+      && Graph.num_edges g = Graph.num_edges g2
+      && Graph.edges g = Graph.edges g2)
+
+let () =
+  Alcotest.run "graph"
+    [ ( "construction",
+        [ Alcotest.test_case "basic counts" `Quick test_basic_counts;
+          Alcotest.test_case "self-loop degree convention" `Quick test_self_loops_count_one;
+          Alcotest.test_case "mem_edge" `Quick test_mem_edge;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "edges roundtrip" `Quick test_iter_edges_roundtrip ] );
+      ( "subgraphs",
+        [ Alcotest.test_case "induced" `Quick test_induced_subgraph;
+          Alcotest.test_case "saturated preserves degrees" `Quick
+            test_saturated_subgraph_preserves_degrees;
+          Alcotest.test_case "remove_edges adds loops" `Quick test_remove_edges_adds_loops;
+          Alcotest.test_case "with_self_loops validation" `Quick test_with_self_loops_validation;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph ] );
+      ( "metrics",
+        [ Alcotest.test_case "cut & conductance" `Quick test_cut_and_conductance;
+          Alcotest.test_case "conductance symmetric" `Quick test_conductance_symmetric;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "bfs & diameter" `Quick test_bfs_and_diameter;
+          Alcotest.test_case "multi-source bfs" `Quick test_multi_source_bfs;
+          Alcotest.test_case "degeneracy" `Quick test_degeneracy;
+          Alcotest.test_case "partition checks" `Quick test_partition_checks;
+          Alcotest.test_case "subset diameter" `Quick test_subset_diameter ] );
+      ( "serialization",
+        [ Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "parse features" `Quick test_io_parse_features;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          QCheck_alcotest.to_alcotest prop_io_roundtrip ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_invariants;
+          QCheck_alcotest.to_alcotest prop_volume_split;
+          QCheck_alcotest.to_alcotest prop_cut_bounded;
+          QCheck_alcotest.to_alcotest prop_remove_edges_degree_invariant;
+          QCheck_alcotest.to_alcotest prop_saturated_degrees;
+          QCheck_alcotest.to_alcotest prop_components_partition ] ) ]

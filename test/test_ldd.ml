@@ -1,0 +1,249 @@
+(* Tests for the low-diameter decomposition (Theorem 4): MPX
+   clustering as a protocol, the V_D/V_S refinement invariants, and
+   the end-to-end diameter / cut-fraction guarantees. *)
+
+module Graph = Dex_graph.Graph
+module Metrics = Dex_graph.Metrics
+module Gen = Dex_graph.Generators
+module Rounds = Dex_congest.Rounds
+module Network = Dex_congest.Network
+module Clustering = Dex_ldd.Clustering
+module Neighborhood = Dex_ldd.Neighborhood
+module Refine = Dex_ldd.Refine
+module Ldd = Dex_ldd.Ldd
+module Rng = Dex_util.Rng
+
+let net_of g = Network.create g (Rounds.create ())
+
+(* ---------- MPX clustering ---------- *)
+
+let test_clustering_covers () =
+  let rng = Rng.create 1 in
+  let g = Gen.connectivize rng (Gen.gnp rng ~n:80 ~p:0.05) in
+  let c = Clustering.run (net_of g) ~beta:0.3 rng in
+  Array.iteri
+    (fun v cl ->
+      Alcotest.(check bool) (Printf.sprintf "vertex %d clustered" v) true (cl >= 0 && cl < 80))
+    c.Clustering.cluster;
+  let parts = Clustering.clusters c in
+  Metrics.check_partition g parts
+
+let test_clustering_centers_own_cluster () =
+  let rng = Rng.create 2 in
+  let g = Gen.grid 8 8 in
+  let c = Clustering.run (net_of g) ~beta:0.4 rng in
+  (* every cluster id is a vertex assigned to itself *)
+  Array.iter
+    (fun cl -> Alcotest.(check int) "center in own cluster" cl c.Clustering.cluster.(cl))
+    c.Clustering.cluster
+
+let test_clustering_radius_bound () =
+  let rng = Rng.create 3 in
+  let g = Gen.grid 12 12 in
+  let beta = 0.4 in
+  let c = Clustering.run (net_of g) ~beta rng in
+  let horizon = c.Clustering.epochs in
+  (* each vertex is within horizon hops of its center, and the
+     protocol ran exactly horizon epochs *)
+  let parts = Clustering.clusters c in
+  List.iter
+    (fun part ->
+      let center = c.Clustering.cluster.(part.(0)) in
+      let dist = Metrics.bfs_distances g center in
+      Array.iter
+        (fun v -> Alcotest.(check bool) "within horizon" true (dist.(v) <= horizon))
+        part)
+    parts;
+  Alcotest.(check int) "rounds = epochs" horizon c.Clustering.rounds
+
+let test_clustering_cut_fraction_expectation () =
+  (* Lemma 12: Pr[edge cut] ≤ 2β; empirical average over seeds should
+     be ≤ 3β comfortably *)
+  let beta = 0.15 in
+  let g = Gen.cycle 400 in
+  let total = ref 0 in
+  let seeds = 10 in
+  for seed = 1 to seeds do
+    let c = Clustering.run (net_of g) ~beta (Rng.create seed) in
+    total := !total + Clustering.inter_cluster_edges g c
+  done;
+  let avg = float_of_int !total /. float_of_int seeds in
+  let m = float_of_int (Graph.num_edges g) in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg cut %.1f ≤ 3βm = %.1f" avg (3.0 *. beta *. m))
+    true
+    (avg <= 3.0 *. beta *. m)
+
+let test_clustering_beta_validation () =
+  let g = Gen.path 4 in
+  Alcotest.check_raises "beta out of range" (Invalid_argument "Clustering.run: beta in (0,1)")
+    (fun () -> ignore (Clustering.run (net_of g) ~beta:1.5 (Rng.create 1)))
+
+let test_clustering_start_times () =
+  let rng = Rng.create 4 in
+  let g = Gen.grid 10 10 in
+  let c = Clustering.run (net_of g) ~beta:0.3 rng in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "start in [1, horizon]" true (s >= 1 && s <= c.Clustering.epochs))
+    c.Clustering.start;
+  (* a vertex whose start epoch is 1 must be its own center *)
+  Array.iteri
+    (fun v s ->
+      if s = 1 then Alcotest.(check int) "epoch-1 vertex is a center" v c.Clustering.cluster.(v))
+    c.Clustering.start
+
+(* ---------- neighborhood counting ---------- *)
+
+let test_ball_edge_count () =
+  let g = Gen.path 10 in
+  (* ball of radius 1 around vertex 5 = {4,5,6}: 2 edges *)
+  Alcotest.(check int) "radius 1" 2 (Neighborhood.ball_edge_count g ~d:1 5);
+  Alcotest.(check int) "radius 2" 4 (Neighborhood.ball_edge_count g ~d:2 5);
+  Alcotest.(check int) "radius 0" 0 (Neighborhood.ball_edge_count g ~d:0 5);
+  Alcotest.(check int) "whole graph" 9 (Neighborhood.ball_edge_count g ~d:20 5)
+
+let test_ball_counts_with_loops () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 1) ] in
+  (* ball radius 1 around 0 = {0,1}: edge 0-1 plus loop at 1 *)
+  Alcotest.(check int) "loop counted" 2 (Neighborhood.ball_edge_count g ~d:1 0)
+
+let test_all_ball_counts_match_single () =
+  let rng = Rng.create 5 in
+  let g = Gen.connectivize rng (Gen.gnp rng ~n:40 ~p:0.08) in
+  let all = Neighborhood.all_ball_edge_counts g ~d:2 in
+  for v = 0 to 39 do
+    Alcotest.(check int) (Printf.sprintf "v=%d" v) (Neighborhood.ball_edge_count g ~d:2 v)
+      all.(v)
+  done
+
+let test_lemma16_rounds_positive () =
+  Alcotest.(check bool) "positive" true (Neighborhood.lemma16_rounds ~n:100 ~d:5 ~f:0.5 > 0);
+  Alcotest.check_raises "f validation"
+    (Invalid_argument "Neighborhood.lemma16_rounds: f in (0,1)") (fun () ->
+      ignore (Neighborhood.lemma16_rounds ~n:100 ~d:5 ~f:1.5))
+
+(* ---------- refinement ---------- *)
+
+let test_refine_invariants_on_path () =
+  let g = Gen.path 600 in
+  let t = Refine.run g ~beta:0.4 in
+  Refine.check g t;
+  Alcotest.(check bool) "iterations within 2b" true (t.Refine.iterations <= (2 * t.Refine.b) + 1)
+
+let test_refine_low_diameter_graph_all_vd () =
+  (* when a ≥ diameter, every ball is the whole graph and every vertex
+     is dense relative to itself: V_D = V *)
+  let rng = Rng.create 6 in
+  let g = Gen.random_regular rng ~n:64 ~d:6 in
+  let t = Refine.run g ~beta:0.2 in
+  Alcotest.(check bool) "all of V in V_D" true (Array.for_all (fun b -> b) t.Refine.in_vd)
+
+let test_refine_vs_density () =
+  let g = Gen.path 600 in
+  let t = Refine.run g ~beta:0.4 in
+  let m = Graph.num_edges g in
+  Array.iteri
+    (fun v in_vd ->
+      if not in_vd then begin
+        let c = Neighborhood.ball_edge_count g ~d:t.Refine.a v in
+        Alcotest.(check bool) "V_S ball sparse" true (c * t.Refine.b <= m)
+      end)
+    t.Refine.in_vd
+
+(* ---------- end-to-end LDD ---------- *)
+
+let test_ldd_partition_and_diameter () =
+  (* at the paper's constants the far ball saturates unless the graph
+     is long enough: a 20000-cycle at beta = 0.6 puts every vertex in
+     V_S, so the MPX cuts really materialize *)
+  let rng = Rng.create 7 in
+  let n = 20_000 in
+  let g = Gen.cycle n in
+  let beta = 0.6 in
+  let r = Ldd.run_graph g ~beta rng in
+  Metrics.check_partition g r.Ldd.parts;
+  let bound = Ldd.diameter_bound ~n ~beta () in
+  List.iter
+    (fun part ->
+      (* parts of a cycle are arcs: diameter = size - 1 unless whole *)
+      let d = if Array.length part = n then n / 2 else Array.length part - 1 in
+      Alcotest.(check bool) "diameter within bound" true (d <= bound))
+    r.Ldd.parts;
+  Alcotest.(check bool) "actually clustered" true (List.length r.Ldd.parts > 1);
+  Alcotest.(check bool) "rounds positive" true (r.Ldd.rounds > 0)
+
+let test_ldd_cut_fraction () =
+  let beta = 0.6 in
+  let g = Gen.cycle 20_000 in
+  let worst = ref 0.0 in
+  for seed = 1 to 5 do
+    let r = Ldd.run_graph g ~beta (Rng.create seed) in
+    let frac =
+      float_of_int (List.length r.Ldd.cut_edges) /. float_of_int (Graph.num_edges g)
+    in
+    if frac > !worst then worst := frac
+  done;
+  (* Theorem 4 (with our Lemma 13 constant): ≤ 3β w.h.p. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "worst %.3f ≤ 3β = %.3f" !worst (3.0 *. beta))
+    true
+    (!worst <= 3.0 *. beta)
+
+let test_ldd_removed_edges_consistent () =
+  let rng = Rng.create 8 in
+  let g = Gen.grid 20 20 in
+  let r = Ldd.run_graph g ~beta:0.5 rng in
+  (* cut edges really join different parts *)
+  let label = Array.make (Graph.num_vertices g) (-1) in
+  List.iteri (fun i part -> Array.iter (fun v -> label.(v) <- i) part) r.Ldd.parts;
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "cut edge crosses" true (label.(u) <> label.(v)))
+    r.Ldd.cut_edges
+
+let test_ldd_expander_is_single_part () =
+  (* low-diameter input: LDD may keep everything whole (V_D = V) *)
+  let rng = Rng.create 9 in
+  let g = Gen.random_regular rng ~n:128 ~d:8 in
+  let r = Ldd.run_graph g ~beta:0.2 rng in
+  Alcotest.(check int) "one part" 1 (List.length r.Ldd.parts);
+  Alcotest.(check int) "no cut edges" 0 (List.length r.Ldd.cut_edges)
+
+let prop_ldd_is_partition =
+  QCheck.Test.make ~name:"LDD output is a partition within the diameter bound" ~count:10
+    QCheck.(pair (int_range 50 300) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.connectivize rng (Gen.gnp rng ~n ~p:(4.0 /. float_of_int n)) in
+      let beta = 0.3 in
+      let r = Ldd.run_graph g ~beta rng in
+      Metrics.check_partition g r.Ldd.parts;
+      Ldd.max_part_diameter g r <= Ldd.diameter_bound ~n ~beta ())
+
+let () =
+  Alcotest.run "ldd"
+    [ ( "clustering",
+        [ Alcotest.test_case "covers all vertices" `Quick test_clustering_covers;
+          Alcotest.test_case "centers own cluster" `Quick test_clustering_centers_own_cluster;
+          Alcotest.test_case "radius bound" `Quick test_clustering_radius_bound;
+          Alcotest.test_case "cut fraction (Lemma 12)" `Quick
+            test_clustering_cut_fraction_expectation;
+          Alcotest.test_case "beta validation" `Quick test_clustering_beta_validation;
+          Alcotest.test_case "start times" `Quick test_clustering_start_times ] );
+      ( "neighborhood",
+        [ Alcotest.test_case "ball edge count" `Quick test_ball_edge_count;
+          Alcotest.test_case "loops counted" `Quick test_ball_counts_with_loops;
+          Alcotest.test_case "bulk matches single" `Quick test_all_ball_counts_match_single;
+          Alcotest.test_case "lemma 16 rounds" `Quick test_lemma16_rounds_positive ] );
+      ( "refine",
+        [ Alcotest.test_case "invariants on path" `Quick test_refine_invariants_on_path;
+          Alcotest.test_case "low-diameter graph ⇒ V_D = V" `Quick
+            test_refine_low_diameter_graph_all_vd;
+          Alcotest.test_case "V_S density" `Quick test_refine_vs_density ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "partition & diameter" `Quick test_ldd_partition_and_diameter;
+          Alcotest.test_case "cut fraction (Theorem 4)" `Quick test_ldd_cut_fraction;
+          Alcotest.test_case "cut edges cross" `Quick test_ldd_removed_edges_consistent;
+          Alcotest.test_case "expander stays whole" `Quick test_ldd_expander_is_single_part;
+          QCheck_alcotest.to_alcotest prop_ldd_is_partition ] ) ]
