@@ -15,6 +15,8 @@
      E11 Section 1.2 recursion depth: strawman vs Theorem 1; sequential
                     Spielman-Teng Partition vs the parallelized one
      E12 Section 1   Jerrum-Sinclair: 1/Phi <= tau_mix <= log n / Phi^2
+     E13 robustness  fault sweep: reliable delivery overhead vs drop
+                     probability; Las Vegas retry cost until certified
 
    `dune exec bench/main.exe` runs everything at default sizes;
    `dune exec bench/main.exe -- quick` shrinks the sweeps;
@@ -694,6 +696,131 @@ let e12_mixing () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* E13 — fault sweep: reliable delivery and Las Vegas retries          *)
+(* ------------------------------------------------------------------ *)
+
+let e13_faults () =
+  let n = if !quick then 128 else 256 in
+  let g = sbm_family (X.Rng.create 131) ~n in
+  (* --- reliable BFS / leader election under message loss --- *)
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Reliable delivery on a lossy SBM (n=%d): rounds/messages vs fault-free"
+           (X.Graph.num_vertices g))
+      [ "protocol"; "p-drop"; "p-dup"; "rounds"; "msgs"; "dropped"; "duplicated";
+        "round-ovh"; "msg-ovh"; "correct" ]
+  in
+  let truth = X.Metrics.bfs_distances g 0 in
+  let run_protocol proto p =
+    let faults =
+      if p = 0.0 then None
+      else Some (X.Faults.create (X.Faults.lossy ~drop:p ~duplicate:(p /. 2.0) ~seed:137 ()))
+    in
+    let ledger = X.Rounds.create () in
+    let net = X.Network.create ?faults g ledger in
+    let correct, label =
+      match proto with
+      | `Bfs ->
+        let tree = X.Reliable.bfs_tree net ~root:0 in
+        (tree.X.Primitives.depth = truth, "bfs-reliable")
+      | `Leader ->
+        let leaders = X.Reliable.elect_leader net in
+        (Array.for_all (fun l -> l = 0) leaders, "leader-reliable")
+    in
+    let rounds = try List.assoc label (X.Rounds.by_phase ledger) with Not_found -> 0 in
+    let msgs = X.Network.messages_sent net in
+    let drops, dups =
+      match faults with
+      | None -> (0, 0)
+      | Some f -> (X.Faults.drops f, X.Faults.duplicates f)
+    in
+    (rounds, msgs, drops, dups, correct)
+  in
+  List.iter
+    (fun proto ->
+      let name = match proto with `Bfs -> "bfs" | `Leader -> "leader" in
+      let r0, m0, _, _, _ = run_protocol proto 0.0 in
+      List.iter
+        (fun p ->
+          let r, m, drops, dups, correct = run_protocol proto p in
+          Table.add_row t
+            [ name; Printf.sprintf "%.2f" p; Printf.sprintf "%.3f" (p /. 2.0);
+              string_of_int r; string_of_int m; string_of_int drops;
+              string_of_int dups;
+              Printf.sprintf "%.2fx" (fi r /. fi (max 1 r0));
+              Printf.sprintf "%.2fx" (fi m /. fi (max 1 m0));
+              (if correct then "yes" else "NO") ])
+        [ 0.0; 0.01; 0.05; 0.1 ])
+    [ `Bfs; `Leader ];
+  Table.print t;
+  (* --- Las Vegas retry wrappers: pay rounds until self-certified --- *)
+  let t2 =
+    Table.create
+      ~title:"Las Vegas wrappers: attempts until Verify accepts, rounds summed over retries"
+      [ "algorithm"; "graph"; "n"; "attempts"; "rounds-total"; "retry-ovh"; "certified" ]
+  in
+  let scale = if !quick then 25 else 40 in
+  let rng = X.Rng.create 139 in
+  let sbm =
+    X.Generators.connectivize rng
+      (X.Generators.planted_partition rng ~parts:4 ~size:scale ~p_in:0.35 ~p_out:0.01)
+  in
+  (match X.Las_vegas.decompose ~attempts:5 ~epsilon:0.3 ~k:2 sbm (X.Rng.create 141) with
+  | Ok o ->
+    let last = o.X.Las_vegas.result.X.Decomposition.stats.X.Decomposition.rounds in
+    Table.add_row t2
+      [ "decompose"; "sbm-4"; string_of_int (X.Graph.num_vertices sbm);
+        string_of_int o.X.Las_vegas.attempts;
+        string_of_int o.X.Las_vegas.total_rounds;
+        Printf.sprintf "%.2fx" (fi o.X.Las_vegas.total_rounds /. fi (max 1 last));
+        "yes" ]
+  | Error f ->
+    Table.add_row t2
+      [ "decompose"; "sbm-4"; string_of_int (X.Graph.num_vertices sbm);
+        string_of_int f.X.Las_vegas.attempts;
+        string_of_int f.X.Las_vegas.total_rounds; "-"; "NO" ]);
+  let tri =
+    X.Generators.connectivize rng (X.Generators.gnp rng ~n:(2 * scale) ~p:0.25)
+  in
+  (match X.Triangle_enum.run_verified ~attempts:3 tri (X.Rng.create 143) with
+  | Ok o ->
+    let last = o.X.Triangle_enum.value.X.Triangle_enum.total_rounds in
+    Table.add_row t2
+      [ "triangles"; "gnp"; string_of_int (X.Graph.num_vertices tri);
+        string_of_int o.X.Triangle_enum.attempts;
+        string_of_int o.X.Triangle_enum.rounds_total;
+        Printf.sprintf "%.2fx" (fi o.X.Triangle_enum.rounds_total /. fi (max 1 last));
+        (if o.X.Triangle_enum.value.X.Triangle_enum.complete then "yes" else "NO") ]
+  | Error f ->
+    Table.add_row t2
+      [ "triangles"; "gnp"; string_of_int (X.Graph.num_vertices tri);
+        string_of_int f.X.Triangle_enum.attempts;
+        string_of_int f.X.Triangle_enum.rounds_total; "-"; "NO" ]);
+  let phi = 1.0 /. 16.0 in
+  let dumb = X.Generators.dumbbell rng ~n1:scale ~n2:scale ~d:6 ~bridges:2 in
+  let params =
+    X.Nibble_params.make ~phi ~m:(max 1 (X.Graph.num_edges dumb)) ()
+  in
+  let bound = X.Nibble_params.h ~n:(X.Graph.num_vertices dumb) phi in
+  (match X.Sparse_cut.run_verified ~attempts:3 ~bound params dumb (X.Rng.create 145) with
+  | Ok o ->
+    let last = o.X.Sparse_cut.value.X.Sparse_cut.rounds in
+    Table.add_row t2
+      [ "sparse-cut"; "dumbbell"; string_of_int (X.Graph.num_vertices dumb);
+        string_of_int o.X.Sparse_cut.attempts;
+        string_of_int o.X.Sparse_cut.rounds_total;
+        Printf.sprintf "%.2fx" (fi o.X.Sparse_cut.rounds_total /. fi (max 1 last));
+        "yes" ]
+  | Error f ->
+    Table.add_row t2
+      [ "sparse-cut"; "dumbbell"; string_of_int (X.Graph.num_vertices dumb);
+        string_of_int f.X.Sparse_cut.attempts;
+        string_of_int f.X.Sparse_cut.rounds_total; "-"; "NO" ]);
+  Table.print t2
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Array.iteri
@@ -716,4 +843,5 @@ let () =
   section "e9" "Ablations" e9_ablations;
   section "e10" "Micro-benchmarks (Bechamel)" e10_micro;
   section "e11" "Strawman recursion & sequential ST Partition" e11_strawman;
-  section "e12" "Jerrum-Sinclair mixing relation" e12_mixing
+  section "e12" "Jerrum-Sinclair mixing relation" e12_mixing;
+  section "e13" "Fault sweep: reliable delivery & Las Vegas retries" e13_faults

@@ -6,6 +6,7 @@
      sparse-cut  run the nearly most balanced sparse cut (Theorem 3)
      ldd         run the low-diameter decomposition (Theorem 4)
      triangles   enumerate triangles via expander decomposition (Theorem 2)
+     faults      reliable BFS/leader election on a lossy network
 
    Graphs are generated on demand: --family gnp/sbm/barbell/dumbbell/
    grid/powerlaw/regular/cliques/tree/cycle/path, with family-specific
@@ -81,36 +82,61 @@ let generate_cmd =
   Cmd.v (Cmd.info "generate" ~doc:"Generate a graph and print its statistics.")
     Term.(const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t $ degree_t)
 
+let attempts_t =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> Ok v
+      | _ -> Error (`Msg "expected a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value & opt pos_int 1
+    & info [ "attempts" ]
+      ~doc:"Las Vegas retry budget: re-run with fresh randomness until Verify certifies the output, up to this many attempts.")
+
+let print_decomposition ~epsilon r report =
+  Printf.printf
+    "decomposition: parts=%d removed=%.2f%% (target %.2f%%) rounds=%d depth=%d \
+     phase2=%d partition-calls=%d\n"
+    (List.length r.X.Decomposition.parts)
+    (100.0 *. r.X.Decomposition.edge_fraction_removed)
+    (100.0 *. epsilon)
+    r.X.Decomposition.stats.X.Decomposition.rounds
+    r.X.Decomposition.stats.X.Decomposition.phase1_depth
+    r.X.Decomposition.stats.X.Decomposition.phase2_components
+    r.X.Decomposition.stats.X.Decomposition.partition_calls;
+  List.iteri
+    (fun i part ->
+      if i < 20 then Printf.printf "  part %d: %d vertices\n" i (Array.length part))
+    r.X.Decomposition.parts;
+  if List.length r.X.Decomposition.parts > 20 then
+    Printf.printf "  ... (%d parts total)\n" (List.length r.X.Decomposition.parts);
+  Printf.printf "verify: partition=%b epsilon-ok=%b min-conductance≥%.4f (target φ=%.4f)\n"
+    report.X.Decomposition_verify.is_partition report.X.Decomposition_verify.epsilon_ok
+    report.X.Decomposition_verify.min_conductance_lower r.X.Decomposition.phi_target
+
 let decompose_cmd =
-  let run family file n seed p parts p_in p_out degree epsilon k =
+  let run family file n seed p parts p_in p_out degree epsilon k attempts =
     let g = graph_of family file n seed p parts p_in p_out degree in
     describe g;
-    let r = X.decompose ~epsilon ~k g ~seed in
-    Printf.printf
-      "decomposition: parts=%d removed=%.2f%% (target %.2f%%) rounds=%d depth=%d \
-       phase2=%d partition-calls=%d\n"
-      (List.length r.X.Decomposition.parts)
-      (100.0 *. r.X.Decomposition.edge_fraction_removed)
-      (100.0 *. epsilon)
-      r.X.Decomposition.stats.X.Decomposition.rounds
-      r.X.Decomposition.stats.X.Decomposition.phase1_depth
-      r.X.Decomposition.stats.X.Decomposition.phase2_components
-      r.X.Decomposition.stats.X.Decomposition.partition_calls;
-    List.iteri
-      (fun i part ->
-        if i < 20 then Printf.printf "  part %d: %d vertices\n" i (Array.length part))
-      r.X.Decomposition.parts;
-    if List.length r.X.Decomposition.parts > 20 then
-      Printf.printf "  ... (%d parts total)\n" (List.length r.X.Decomposition.parts);
-    let report = X.Decomposition_verify.check g r (X.Rng.create (seed + 1)) in
-    Printf.printf "verify: partition=%b epsilon-ok=%b min-conductance≥%.4f (target φ=%.4f)\n"
-      report.X.Decomposition_verify.is_partition report.X.Decomposition_verify.epsilon_ok
-      report.X.Decomposition_verify.min_conductance_lower r.X.Decomposition.phi_target
+    match X.Las_vegas.decompose ~attempts ~epsilon ~k g (X.Rng.create seed) with
+    | Ok o ->
+      print_decomposition ~epsilon o.X.Las_vegas.result o.X.Las_vegas.report;
+      Printf.printf "las-vegas: certified after %d/%d attempt(s), %d rounds total\n"
+        o.X.Las_vegas.attempts attempts o.X.Las_vegas.total_rounds
+    | Error f ->
+      print_decomposition ~epsilon f.X.Las_vegas.last_result f.X.Las_vegas.last_report;
+      Printf.printf
+        "las-vegas: FAILED — %d attempt(s) exhausted (%d rounds total) without a certificate\n"
+        f.X.Las_vegas.attempts f.X.Las_vegas.total_rounds;
+      exit 1
   in
   Cmd.v (Cmd.info "decompose" ~doc:"Run the (ε,φ)-expander decomposition (Theorem 1).")
     Term.(
       const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
-      $ degree_t $ epsilon_t $ k_t)
+      $ degree_t $ epsilon_t $ k_t $ attempts_t)
 
 let sparse_cut_cmd =
   let run family file n seed p parts p_in p_out degree phi =
@@ -172,7 +198,84 @@ let triangles_cmd =
       const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
       $ degree_t $ epsilon_t $ k_t)
 
+let faults_cmd =
+  let drop_t =
+    Arg.(value & opt float 0.05 & info [ "drop" ] ~docv:"P" ~doc:"Per-message drop probability.")
+  in
+  let dup_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability (default drop/2).")
+  in
+  let fault_seed_t =
+    Arg.(value & opt int 42 & info [ "fault-seed" ] ~doc:"Seed of the deterministic fault schedule.")
+  in
+  let retries_t =
+    let pos_int =
+      let parse s =
+        match int_of_string_opt s with
+        | Some v when v >= 1 -> Ok v
+        | _ -> Error (`Msg "expected a positive integer")
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(value & opt pos_int 64 & info [ "retries" ] ~doc:"Retransmission budget per message.")
+  in
+  let run family file n seed p parts p_in p_out degree drop dup fault_seed retries =
+    let g = graph_of family file n seed p parts p_in p_out degree in
+    describe g;
+    let dup = match dup with Some d -> d | None -> drop /. 2.0 in
+    let config = { X.Reliable.default_config with X.Reliable.max_retries = retries } in
+    let exec faults =
+      let ledger = X.Rounds.create () in
+      let net = X.Network.create ?faults g ledger in
+      let tree = X.Reliable.bfs_tree ~config net ~root:0 in
+      let leaders = X.Reliable.elect_leader ~config net in
+      let phases = X.Rounds.by_phase ledger in
+      let rounds label = try List.assoc label phases with Not_found -> 0 in
+      (rounds "bfs-reliable", rounds "leader-reliable", X.Network.messages_sent net,
+       tree, leaders)
+    in
+    let br0, lr0, m0, tree0, _ = exec None in
+    Printf.printf "fault-free: bfs-rounds=%d leader-rounds=%d messages=%d tree-height=%d\n"
+      br0 lr0 m0 tree0.X.Primitives.height;
+    let faults = X.Faults.create (X.Faults.lossy ~drop ~duplicate:dup ~seed:fault_seed ()) in
+    let br, lr, m, tree, leaders =
+      try exec (Some faults)
+      with X.Reliable.Delivery_failed { label; vertex; neighbor; attempts; _ } ->
+        Printf.printf
+          "FAILED: %s gave up on edge %d->%d after %d retransmissions \
+           (dropped=%d duplicated=%d) — raise --retries or lower --drop\n"
+          label vertex neighbor attempts
+          (X.Faults.drops faults) (X.Faults.duplicates faults);
+        exit 1
+    in
+    Printf.printf
+      "lossy (drop=%.3f dup=%.3f seed=%d): bfs-rounds=%d leader-rounds=%d messages=%d\n"
+      drop dup fault_seed br lr m;
+    Printf.printf "faults: dropped=%d duplicated=%d\n"
+      (X.Faults.drops faults) (X.Faults.duplicates faults);
+    Printf.printf "overhead: bfs-rounds %.2fx leader-rounds %.2fx messages %.2fx\n"
+      (float_of_int br /. float_of_int (max 1 br0))
+      (float_of_int lr /. float_of_int (max 1 lr0))
+      (float_of_int m /. float_of_int (max 1 m0));
+    let bfs_ok = tree.X.Primitives.depth = tree0.X.Primitives.depth in
+    let leader_ok = Array.for_all (fun l -> l = leaders.(0)) leaders in
+    Printf.printf "correct: bfs=%b leader=%b\n" bfs_ok leader_ok;
+    if not (bfs_ok && leader_ok) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run reliable BFS and leader election on a lossy network and report the overhead.")
+    Term.(
+      const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
+      $ degree_t $ drop_t $ dup_t $ fault_seed_t $ retries_t)
+
 let () =
   let doc = "Distributed expander decomposition and triangle enumeration (PODC 2019)" in
   let info = Cmd.info "dexpander" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; decompose_cmd; sparse_cut_cmd; ldd_cmd; triangles_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; decompose_cmd; sparse_cut_cmd; ldd_cmd; triangles_cmd; faults_cmd ]))

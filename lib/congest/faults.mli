@@ -1,0 +1,80 @@
+(** Deterministic fault injection for the CONGEST kernel.
+
+    A fault schedule is a pure function of a seed and the message
+    coordinates [(round, src, dst)]: the same spec replayed against the
+    same protocol produces bit-identical fault decisions, so lossy runs
+    stay reproducible from a single integer seed. The schedule models:
+
+    - per-message loss: each delivery is dropped with probability
+      [drop];
+    - per-message duplication: each surviving delivery is delivered
+      twice with probability [duplicate] (retransmission artifacts);
+    - permanent link failures: an edge dies at a given round and stays
+      dead — every later message on it is lost;
+    - crash-stop vertex faults: from its crash round on, a vertex
+      executes no steps, sends nothing and loses its inbox.
+
+    Every decision is recorded in a chronological trace alongside the
+    round/message ledger so tests and benches can assert exactly what
+    the adversary did. *)
+
+(** One recorded fault event. [Link_down] and [Crash] are emitted once,
+    when the failure first takes effect; each lost or duplicated
+    message additionally emits its own event. *)
+type fault =
+  | Drop of { round : int; src : int; dst : int }
+  | Duplicate of { round : int; src : int; dst : int }
+  | Link_down of { round : int; u : int; v : int }
+  | Crash of { round : int; vertex : int }
+
+(** The fault schedule description. Probabilities are per message. *)
+type spec = {
+  drop : float; (** P[a delivery is lost] *)
+  duplicate : float; (** P[a surviving delivery arrives twice] *)
+  link_failures : ((int * int) * int) list;
+      (** [((u, v), r)]: the edge dies permanently at round [r] *)
+  crashes : (int * int) list; (** [(v, r)]: vertex [v] crash-stops at round [r] *)
+  seed : int; (** drives every probabilistic decision *)
+}
+
+(** The fault-free schedule (all probabilities 0, no failures). *)
+val none : spec
+
+(** [lossy ?duplicate ?seed ~drop ()] is a pure message-loss schedule.
+    Defaults: [duplicate = 0.], [seed = 0]. *)
+val lossy : ?duplicate:float -> ?seed:int -> drop:float -> unit -> spec
+
+type t
+
+(** [create spec] instantiates a schedule with an empty trace.
+    Raises [Invalid_argument] if a probability is outside [0, 1]. *)
+val create : spec -> t
+
+(** [spec t] is the schedule [t] was created from. *)
+val spec : t -> spec
+
+(** [trace t] is every fault event recorded so far, in the order the
+    kernel encountered them. *)
+val trace : t -> fault list
+
+(** [drops t] counts lost deliveries (including losses caused by dead
+    links and crashed destinations). *)
+val drops : t -> int
+
+(** [duplicates t] counts duplicated deliveries. *)
+val duplicates : t -> int
+
+(** [reset t] clears the trace and counters, keeping the spec — the
+    deterministic decisions replay identically afterwards. *)
+val reset : t -> unit
+
+(** [crashed t ~round ~vertex] is [true] when [vertex] has crash-stopped
+    by [round]. Records the [Crash] event on first observation. *)
+val crashed : t -> round:int -> vertex:int -> bool
+
+(** [verdict t ~round ~src ~dst] decides the fate of the message sent
+    from [src] to [dst] in [round], recording the corresponding event.
+    The CONGEST discipline guarantees at most one message per
+    [(round, src, dst)], so the decision is well-defined and depends
+    only on the seed and those coordinates. *)
+val verdict : t -> round:int -> src:int -> dst:int -> [ `Deliver | `Drop | `Duplicate ]

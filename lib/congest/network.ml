@@ -2,24 +2,36 @@ module Graph = Dex_graph.Graph
 
 exception Congestion_violation of string
 
+type packed_states = Packed : 'a array -> packed_states
+
+exception
+  Round_limit_exceeded of {
+    label : string;
+    max_rounds : int;
+    executed : int;
+    states : packed_states;
+  }
+
 type message = int array
 
 type t = {
   graph : Graph.t;
   ledger : Rounds.t;
   word_size : int;
+  faults : Faults.t option;
   mutable messages : int;
 }
 
 type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (int * message) list
 
-let create ?(word_size = 1) graph ledger =
+let create ?(word_size = 1) ?faults graph ledger =
   if word_size < 1 then invalid_arg "Network.create: word_size must be >= 1";
-  { graph; ledger; word_size; messages = 0 }
+  { graph; ledger; word_size; faults; messages = 0 }
 
 let graph t = t.graph
 let messages_sent t = t.messages
 let rounds t = t.ledger
+let faults t = t.faults
 let charge t ~label k = Rounds.charge t.ledger ~label k
 
 let validate_outbox t v outbox =
@@ -46,15 +58,35 @@ let validate_outbox t v outbox =
 let exec_round t ~round states inboxes step =
   let n = Graph.num_vertices t.graph in
   let next_inboxes = Array.make n [] in
+  let deliver src dst msg =
+    t.messages <- t.messages + 1;
+    next_inboxes.(dst) <- (src, msg) :: next_inboxes.(dst)
+  in
   for v = 0 to n - 1 do
-    let state', outbox = step ~round ~vertex:v states.(v) inboxes.(v) in
-    states.(v) <- state';
-    validate_outbox t v outbox;
-    List.iter
-      (fun (u, msg) ->
-        t.messages <- t.messages + 1;
-        next_inboxes.(u) <- (v, msg) :: next_inboxes.(u))
-      outbox
+    let crashed =
+      match t.faults with
+      | Some f -> Faults.crashed f ~round ~vertex:v
+      | None -> false
+    in
+    (* a crashed vertex executes no step, sends nothing and its inbox
+       is lost (crash-stop) *)
+    if not crashed then begin
+      let state', outbox = step ~round ~vertex:v states.(v) inboxes.(v) in
+      states.(v) <- state';
+      validate_outbox t v outbox;
+      List.iter
+        (fun (u, msg) ->
+          match t.faults with
+          | None -> deliver v u msg
+          | Some f ->
+            (match Faults.verdict f ~round ~src:v ~dst:u with
+            | `Deliver -> deliver v u msg
+            | `Drop -> ()
+            | `Duplicate ->
+              deliver v u msg;
+              deliver v u msg))
+        outbox
+    end
   done;
   next_inboxes
 
@@ -71,8 +103,14 @@ let run t ~label ~init ~step ~finished ?(max_rounds = 1_000_000) () =
     incr executed;
     inboxes := exec_round t ~round:!executed states !inboxes step
   done;
-  if not (finished states) then
-    failwith (Printf.sprintf "Network.run(%s): exceeded %d rounds" label max_rounds);
+  if not (finished states) then begin
+    (* the rounds were really executed: charge them before raising so
+       the ledger stays truthful on failure *)
+    Rounds.charge t.ledger ~label !executed;
+    raise
+      (Round_limit_exceeded
+         { label; max_rounds; executed = !executed; states = Packed states })
+  end;
   Rounds.charge t.ledger ~label !executed;
   (states, !executed)
 

@@ -13,21 +13,50 @@
 
     Violations raise {!Congestion_violation} — this is how tests do
     failure injection. Rounds and message words are charged to a
-    {!Rounds.t} ledger so protocol compositions have one cost ledger. *)
+    {!Rounds.t} ledger so protocol compositions have one cost ledger.
+
+    A network may additionally carry a {!Faults.t} schedule: message
+    drops/duplications, permanent link failures and crash-stop vertex
+    faults are then applied inside every executed round, with each
+    fault event recorded in the schedule's trace. Congestion validation
+    happens {e before} fault application — a protocol may not excuse an
+    oversized message by hoping the adversary drops it. *)
 
 exception Congestion_violation of string
 
+(** Final states of a protocol that hit its round limit, with the
+    element type hidden (protocol state types differ per caller). *)
+type packed_states = Packed : 'a array -> packed_states
+
+(** Raised by {!run} when [max_rounds] is exhausted before the
+    [finished] predicate holds. The executed rounds have already been
+    charged to the ledger when this is raised. *)
+exception
+  Round_limit_exceeded of {
+    label : string;
+    max_rounds : int;
+    executed : int;
+    states : packed_states;
+  }
+
 type t
 
-(** [create ?word_size graph rounds] wraps [graph]; [word_size]
-    (default 1) is the per-message word budget. *)
-val create : ?word_size:int -> Dex_graph.Graph.t -> Rounds.t -> t
+(** [create ?word_size ?faults graph rounds] wraps [graph]; [word_size]
+    (default 1) is the per-message word budget. When [faults] is given,
+    every executed round applies the schedule to deliveries and step
+    execution. *)
+val create : ?word_size:int -> ?faults:Faults.t -> Dex_graph.Graph.t -> Rounds.t -> t
 
 (** [graph t] is the underlying communication graph. *)
 val graph : t -> Dex_graph.Graph.t
 
-(** [messages_sent t] is the cumulative number of messages delivered. *)
+(** [messages_sent t] is the cumulative number of messages delivered:
+    under a fault schedule, dropped messages are excluded and
+    duplicated ones count twice. *)
 val messages_sent : t -> int
+
+(** [faults t] is the fault schedule, if any. *)
+val faults : t -> Faults.t option
 
 (** A message is an int array of at most [word_size] words. *)
 type message = int array
@@ -41,8 +70,9 @@ type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (in
 (** [run t ~label ~init ~step ~finished ?max_rounds ()] executes the
     protocol synchronously until [finished state_array] holds at a
     round boundary with no message still in flight, or [max_rounds]
-    (default 1_000_000) is exhausted (raising [Failure] in the latter
-    case). Returns the final states and the number of rounds executed;
+    (default 1_000_000) is exhausted — raising {!Round_limit_exceeded}
+    in the latter case, after charging the partial rounds to the
+    ledger. Returns the final states and the number of rounds executed;
     the rounds are also charged to the ledger under [label]. *)
 val run :
   t ->

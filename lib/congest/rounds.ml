@@ -11,8 +11,10 @@ let charge t ~label k =
 let total t = t.total
 
 let by_phase t =
+  (* descending by cost, ties broken on label: Hashtbl.fold order is
+     unspecified, and bench tables must be stable across runs *)
   Hashtbl.fold (fun label k acc -> (label, k) :: acc) t.phases []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (la, a) (lb, b) -> if a <> b then compare b a else compare la lb)
 
 let merge ~into src =
   Hashtbl.iter (fun label k -> charge into ~label k) src.phases

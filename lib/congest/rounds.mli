@@ -20,7 +20,8 @@ val charge : t -> label:string -> int -> unit
 (** [total t] is the number of rounds charged so far. *)
 val total : t -> int
 
-(** [by_phase t] aggregates charges per label, descending by cost. *)
+(** [by_phase t] aggregates charges per label, descending by cost;
+    equal costs are ordered by label, so the listing is deterministic. *)
 val by_phase : t -> (string * int) list
 
 (** [merge ~into src] adds all of [src]'s charges into [into]. *)

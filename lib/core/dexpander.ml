@@ -25,6 +25,8 @@ module Graph_io = Dex_graph.Graph_io
 module Network = Dex_congest.Network
 module Rounds = Dex_congest.Rounds
 module Primitives = Dex_congest.Primitives
+module Faults = Dex_congest.Faults
+module Reliable = Dex_congest.Reliable
 module Clique = Dex_congest.Clique
 module Walk = Dex_spectral.Walk
 module Sweep = Dex_spectral.Sweep
@@ -42,6 +44,7 @@ module Ldd = Dex_ldd.Ldd
 module Schedule = Dex_decomp.Schedule
 module Decomposition = Dex_decomp.Decomposition
 module Decomposition_verify = Dex_decomp.Verify
+module Las_vegas = Dex_decomp.Las_vegas
 module Cpz_baseline = Dex_decomp.Cpz_baseline
 module Recursive_baseline = Dex_decomp.Recursive_baseline
 module Trimming = Dex_decomp.Trimming

@@ -4,6 +4,13 @@ module Params = Dex_sparsecut.Params
 module Partition = Dex_sparsecut.Partition
 module Rng = Dex_util.Rng
 
+exception
+  Runaway_recursion of {
+    n : int;
+    guard : int;
+    pending_components : int;
+  }
+
 type result = {
   parts : int array list;
   leftover : int array;
@@ -73,7 +80,8 @@ let run ?(preset = Params.Practical) ~delta ~epsilon g rng =
   let guard = ref 0 in
   while not (Queue.is_empty work) do
     incr guard;
-    if !guard > 4 * n then failwith "Cpz_baseline: runaway recursion";
+    if !guard > 4 * n then
+      raise (Runaway_recursion { n; guard = !guard; pending_components = Queue.length work });
     let members = Queue.take work in
     if Array.length members <= 1 then
       (if Array.length members = 1 then parts := members :: !parts)

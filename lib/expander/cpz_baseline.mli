@@ -14,6 +14,17 @@
     edges stranded in the leftover, measured arboricity of the
     leftover, rounds, and the quality of the expander parts. *)
 
+(** Raised when the cut/peel worklist exceeds the [4·n] component
+    budget — the degree-threshold argument bounding the recursion has
+    been violated (numerical pathology), with the guard counter and
+    the still-pending component count as context. *)
+exception
+  Runaway_recursion of {
+    n : int;
+    guard : int;
+    pending_components : int;
+  }
+
 type result = {
   parts : int array list; (** expander components of the dense remainder *)
   leftover : int array; (** the extra part R *)

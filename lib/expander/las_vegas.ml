@@ -1,0 +1,41 @@
+module Rng = Dex_util.Rng
+
+type failure = {
+  attempts : int;
+  last_result : Decomposition.result;
+  last_report : Verify.report;
+  total_rounds : int;
+}
+
+type outcome = {
+  result : Decomposition.result;
+  report : Verify.report;
+  attempts : int;
+  total_rounds : int;
+}
+
+let report_ok (r : Verify.report) =
+  r.Verify.is_partition && r.Verify.epsilon_ok && r.Verify.phi_ok
+
+let decompose ?preset ?(attempts = 5) ~epsilon ~k g rng =
+  if attempts < 1 then invalid_arg "Las_vegas.decompose: attempts must be >= 1";
+  let total_rounds = ref 0 in
+  let rec go i =
+    (* fresh randomness per attempt: split both the algorithm's stream
+       and the verifier's, so a failed attempt never replays *)
+    let attempt_rng = Rng.split rng i in
+    let verify_rng = Rng.split rng (attempts + i) in
+    let result = Decomposition.run ?preset ~epsilon ~k g attempt_rng in
+    total_rounds := !total_rounds + result.Decomposition.stats.Decomposition.rounds;
+    let report = Verify.check g result verify_rng in
+    if report_ok report then
+      Ok { result; report; attempts = i; total_rounds = !total_rounds }
+    else if i >= attempts then
+      Error
+        { attempts = i;
+          last_result = result;
+          last_report = report;
+          total_rounds = !total_rounds }
+    else go (i + 1)
+  in
+  go 1

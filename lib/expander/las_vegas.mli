@@ -1,0 +1,48 @@
+(** Las Vegas retry wrapper around the Theorem-1 decomposition.
+
+    {!Decomposition.run} is Monte Carlo: its (ε, φ) guarantees hold
+    w.h.p. over the algorithm's randomness, and a bad run returns a
+    decomposition that silently misses them. Wrapping each attempt
+    with the {!Verify.check} self-certification and re-running with
+    fresh randomness on failure turns it into a verified-output
+    algorithm: an [Ok] outcome {e provably} satisfies the partition,
+    ε and φ conditions of its own report, and the only remaining
+    randomness is in the running time (the summed rounds across
+    attempts, charged honestly in [total_rounds]).
+
+    Failure is reported as typed data, never as [failwith]: after the
+    attempt budget is exhausted the caller receives the last result
+    and its report to inspect or salvage. *)
+
+(** Attempt budget exhausted: the last attempt and why it failed. *)
+type failure = {
+  attempts : int; (** attempts performed (= the budget) *)
+  last_result : Decomposition.result;
+  last_report : Verify.report;
+  total_rounds : int; (** simulated rounds summed over every attempt *)
+}
+
+(** A certified decomposition. *)
+type outcome = {
+  result : Decomposition.result;
+  report : Verify.report; (** the certificate: [report_ok report] holds *)
+  attempts : int; (** attempts used, including the successful one *)
+  total_rounds : int; (** simulated rounds summed over every attempt *)
+}
+
+(** [report_ok r] is the acceptance predicate: [r] certifies a
+    partition within the ε budget whose parts all meet the φ target. *)
+val report_ok : Verify.report -> bool
+
+(** [decompose ?preset ?attempts ~epsilon ~k g rng] runs
+    {!Decomposition.run} up to [attempts] times (default 5), each with
+    an independent stream split off [rng], verifying each result with
+    {!Verify.check}. Raises [Invalid_argument] when [attempts < 1]. *)
+val decompose :
+  ?preset:Dex_sparsecut.Params.preset ->
+  ?attempts:int ->
+  epsilon:float ->
+  k:int ->
+  Dex_graph.Graph.t ->
+  Dex_util.Rng.t ->
+  (outcome, failure) result

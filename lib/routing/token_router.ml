@@ -3,6 +3,14 @@ module Rng = Dex_util.Rng
 
 type request = { src : int; dst : int }
 
+exception
+  Undelivered of {
+    pending : int;
+    delivered : int;
+    rounds : int;
+    moves : int;
+  }
+
 type stats = {
   rounds : int;
   delivered : int;
@@ -78,9 +86,9 @@ let route ?(capacity = 1) ?max_rounds g rng requests =
     Array.iter (fun q -> max_queue := max !max_queue (List.length q)) queue
   done;
   if !pending > 0 then
-    failwith
-      (Printf.sprintf "Token_router.route: %d tokens undelivered after %d rounds" !pending
-         !rounds);
+    raise
+      (Undelivered
+         { pending = !pending; delivered = !delivered; rounds = !rounds; moves = !moves });
   { rounds = !rounds; delivered = !delivered; moves = !moves; max_queue = !max_queue }
 
 let degree_respecting_requests g rng ~load =

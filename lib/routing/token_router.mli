@@ -11,6 +11,16 @@
 
 type request = { src : int; dst : int }
 
+(** Raised when the round budget is exhausted with tokens still in
+    flight, carrying the delivery progress at the point of failure. *)
+exception
+  Undelivered of {
+    pending : int;
+    delivered : int;
+    rounds : int;
+    moves : int;
+  }
+
 type stats = {
   rounds : int; (** rounds until every token parked *)
   delivered : int;
@@ -19,7 +29,7 @@ type stats = {
 }
 
 (** [route ?capacity ?max_rounds g rng requests] walks all tokens
-    until delivery. Raises [Failure] if [max_rounds] (default
+    until delivery. Raises {!Undelivered} if [max_rounds] (default
     [64·n·(1+log n)]) is exhausted — disconnected src/dst pairs do
     that. *)
 val route :

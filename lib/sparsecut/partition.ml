@@ -94,3 +94,27 @@ let run ?p params g rng =
   end
 
 let certified_no_sparse_cut t = Array.length t.cut = 0
+
+type attempt_outcome = { value : t; attempts : int; rounds_total : int }
+
+let acceptable ~bound t =
+  certified_no_sparse_cut t || t.conductance <= bound
+
+let run_verified ?(attempts = 3) ?p ~bound params g rng =
+  if attempts < 1 then invalid_arg "Partition.run_verified: attempts must be >= 1";
+  let module Rng = Dex_util.Rng in
+  let rounds_total = ref 0 in
+  let best = ref None in
+  let rec go i =
+    let r = run ?p params g (Rng.split rng i) in
+    rounds_total := !rounds_total + r.rounds;
+    (match !best with
+    | Some b when b.conductance <= r.conductance -> ()
+    | _ -> best := Some r);
+    if acceptable ~bound r then Ok { value = r; attempts = i; rounds_total = !rounds_total }
+    else if i >= attempts then
+      let b = match !best with Some b -> b | None -> r in
+      Error { value = b; attempts = i; rounds_total = !rounds_total }
+    else go (i + 1)
+  in
+  go 1

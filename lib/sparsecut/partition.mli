@@ -30,3 +30,27 @@ val run : ?p:float -> Params.t -> Dex_graph.Graph.t -> Dex_util.Rng.t -> t
 (** [certified_no_sparse_cut t] is [true] when Partition returned ∅ —
     the caller treats the graph as a φ-expander (Theorem 3, case 2). *)
 val certified_no_sparse_cut : t -> bool
+
+(** One or more verified Partition attempts: the accepted (or, on
+    [Error], the best-conductance) result, the attempts used and the
+    simulated rounds summed across all of them. *)
+type attempt_outcome = { value : t; attempts : int; rounds_total : int }
+
+(** [acceptable ~bound t] is the Las Vegas acceptance predicate: the
+    graph was certified a φ-expander (empty cut) or the returned cut's
+    measured conductance meets [bound] (the caller's h(φ)). *)
+val acceptable : bound:float -> t -> bool
+
+(** [run_verified ?attempts ?p ~bound params g rng] re-runs Partition
+    with fresh randomness (streams split off [rng]) until
+    {!acceptable} holds, up to [attempts] times (default 3). [Error]
+    carries the best attempt seen — typed failure reporting, never an
+    exception. Raises [Invalid_argument] when [attempts < 1]. *)
+val run_verified :
+  ?attempts:int ->
+  ?p:float ->
+  bound:float ->
+  Params.t ->
+  Dex_graph.Graph.t ->
+  Dex_util.Rng.t ->
+  (attempt_outcome, attempt_outcome) result

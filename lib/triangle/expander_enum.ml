@@ -122,3 +122,18 @@ let run ?preset ?(epsilon = 1.0 /. 6.0) ?(k_decomp = 2) ?k_routing g rng =
     total_rounds = !total_rounds;
     enumeration_rounds = !enumeration_rounds;
     complete = triangles = ground_truth }
+
+type attempt_outcome = { value : result; attempts : int; rounds_total : int }
+
+let run_verified ?preset ?epsilon ?k_decomp ?k_routing ?(attempts = 3) g rng =
+  if attempts < 1 then invalid_arg "Expander_enum.run_verified: attempts must be >= 1";
+  let rounds_total = ref 0 in
+  let rec go i =
+    let r = run ?preset ?epsilon ?k_decomp ?k_routing g (Rng.split rng i) in
+    rounds_total := !rounds_total + r.total_rounds;
+    if r.complete then Ok { value = r; attempts = i; rounds_total = !rounds_total }
+    else if i >= attempts then
+      Error { value = r; attempts = i; rounds_total = !rounds_total }
+    else go (i + 1)
+  in
+  go 1

@@ -55,3 +55,21 @@ val run :
 (** [instances_for ~n ~incident ~volume] is the measured routing
     instance count ⌈3·⌈n^{1/3}⌉·incident/volume⌉ of one component. *)
 val instances_for : n:int -> incident:int -> volume:int -> int
+
+(** One or more verified enumeration attempts: the complete (or, on
+    [Error], the last incomplete) result, the attempts used and the
+    rounds summed across all of them. *)
+type attempt_outcome = { value : result; attempts : int; rounds_total : int }
+
+(** [run_verified ?preset ?epsilon ?k_decomp ?k_routing ?attempts g rng]
+    is the Las Vegas wrapper around {!run}: each attempt's detected set
+    is checked against the exact ground truth ([complete]) and the
+    enumeration re-runs with fresh randomness on a miss, up to
+    [attempts] times (default 3). [Error] carries the last attempt —
+    typed failure, no exception. *)
+val run_verified :
+  ?preset:Dex_sparsecut.Params.preset ->
+  ?epsilon:float -> ?k_decomp:int -> ?k_routing:int ->
+  ?attempts:int ->
+  Dex_graph.Graph.t -> Dex_util.Rng.t ->
+  (attempt_outcome, attempt_outcome) Stdlib.result

@@ -23,12 +23,16 @@ let test_rounds_ledger () =
   Rounds.charge r ~label:"b" 5;
   Rounds.charge r ~label:"a" 2;
   Alcotest.(check int) "total" 10 (Rounds.total r);
-  Alcotest.(check (list (pair string int))) "by phase" [ ("b", 5); ("a", 5) ]
+  (* equal costs are ordered by label — deterministic across runs *)
+  Alcotest.(check (list (pair string int))) "by phase" [ ("a", 5); ("b", 5) ]
+    (Rounds.by_phase r);
+  Rounds.charge r ~label:"zz" 7;
+  Alcotest.(check (list (pair string int))) "by phase sorted" [ ("zz", 7); ("a", 5); ("b", 5) ]
     (Rounds.by_phase r);
   let r2 = Rounds.create () in
   Rounds.charge r2 ~label:"c" 1;
   Rounds.merge ~into:r r2;
-  Alcotest.(check int) "merged" 11 (Rounds.total r);
+  Alcotest.(check int) "merged" 18 (Rounds.total r);
   Rounds.reset r;
   Alcotest.(check int) "reset" 0 (Rounds.total r);
   Alcotest.check_raises "negative" (Invalid_argument "Rounds.charge: negative round count")
@@ -114,8 +118,13 @@ let test_run_timeout () =
       ~finished:(fun _ -> false)
       ~max_rounds:10 ()
   with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected timeout failure"
+  | exception Network.Round_limit_exceeded { label; max_rounds; executed; states = _ } ->
+    Alcotest.(check string) "label" "never" label;
+    Alcotest.(check int) "max_rounds" 10 max_rounds;
+    Alcotest.(check int) "executed" 10 executed;
+    (* the partial rounds were really executed: the ledger must say so *)
+    Alcotest.(check int) "partial rounds charged" 10 (Rounds.total (Network.rounds net))
+  | _ -> Alcotest.fail "expected Round_limit_exceeded"
 
 (* ---------- primitives ---------- *)
 

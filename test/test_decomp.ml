@@ -294,6 +294,45 @@ let test_recursive_baseline_expander () =
   Alcotest.(check int) "expander whole" 1 (List.length r.Straw.parts);
   Alcotest.(check int) "one cut call" 1 r.Straw.cut_calls
 
+(* ---------- Las Vegas wrapper ---------- *)
+
+module Lv = Dex_decomp.Las_vegas
+
+let test_las_vegas_certifies () =
+  let rng = Rng.create 301 in
+  let g =
+    Gen.connectivize rng (Gen.planted_partition rng ~parts:4 ~size:30 ~p_in:0.35 ~p_out:0.01)
+  in
+  match Lv.decompose ~attempts:5 ~epsilon:0.3 ~k:2 g (Rng.create 302) with
+  | Ok o ->
+    Alcotest.(check bool) "certificate holds" true (Lv.report_ok o.Lv.report);
+    Alcotest.(check bool) "attempts within budget" true (o.Lv.attempts >= 1 && o.Lv.attempts <= 5);
+    Alcotest.(check bool) "rounds cover the accepted attempt" true
+      (o.Lv.total_rounds >= o.Lv.result.D.stats.D.rounds);
+    Metrics.check_partition g o.Lv.result.D.parts
+  | Error f ->
+    Alcotest.failf "expected certification within %d attempts (last report phi_ok=%b)"
+      f.Lv.attempts f.Lv.last_report.Verify.phi_ok
+
+let test_las_vegas_deterministic () =
+  let rng = Rng.create 303 in
+  let g =
+    Gen.connectivize rng (Gen.planted_partition rng ~parts:4 ~size:25 ~p_in:0.4 ~p_out:0.01)
+  in
+  let go () =
+    match Lv.decompose ~attempts:4 ~epsilon:0.3 ~k:2 g (Rng.create 304) with
+    | Ok o -> (o.Lv.attempts, o.Lv.total_rounds, List.length o.Lv.result.D.parts)
+    | Error f -> (-f.Lv.attempts, f.Lv.total_rounds, 0)
+  in
+  let a = go () and b = go () in
+  Alcotest.(check bool) "same seed, same outcome" true (a = b)
+
+let test_las_vegas_rejects_bad_budget () =
+  let g = Gen.complete 8 in
+  Alcotest.check_raises "attempts >= 1"
+    (Invalid_argument "Las_vegas.decompose: attempts must be >= 1") (fun () ->
+      ignore (Lv.decompose ~attempts:0 ~epsilon:0.3 ~k:2 g (Rng.create 305)))
+
 let prop_decomposition_is_partition =
   QCheck.Test.make ~name:"decomposition always partitions V" ~count:8
     QCheck.(pair (int_range 20 80) (int_bound 10_000))
@@ -330,6 +369,10 @@ let () =
           Alcotest.test_case "core+pruned partition" `Quick test_trimming_partition_of_members ] );
       ( "verify-methods",
         [ Alcotest.test_case "per-part methods" `Quick test_verify_part_methods ] );
+      ( "las-vegas",
+        [ Alcotest.test_case "certifies SBM" `Quick test_las_vegas_certifies;
+          Alcotest.test_case "deterministic from seed" `Quick test_las_vegas_deterministic;
+          Alcotest.test_case "budget validation" `Quick test_las_vegas_rejects_bad_budget ] );
       ( "recursive-baseline",
         [ Alcotest.test_case "partitions chain" `Quick test_recursive_baseline_partitions;
           Alcotest.test_case "expander whole" `Quick test_recursive_baseline_expander ] );

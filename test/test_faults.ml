@@ -1,0 +1,225 @@
+(* Tests for the fault-injection layer and the reliable-delivery
+   primitives: fault-schedule determinism (same seed => identical
+   trace and identical algorithm output), drop/duplication semantics,
+   permanent link failures, crash-stop faults, and the honest ledger
+   accounting of lossy runs. *)
+
+module Graph = Dex_graph.Graph
+module Metrics = Dex_graph.Metrics
+module Gen = Dex_graph.Generators
+module Rounds = Dex_congest.Rounds
+module Network = Dex_congest.Network
+module Faults = Dex_congest.Faults
+module Reliable = Dex_congest.Reliable
+module Primitives = Dex_congest.Primitives
+module Rng = Dex_util.Rng
+
+let lossy_net ?(spec = Faults.lossy ~drop:0.1 ~seed:42 ()) g =
+  let faults = Faults.create spec in
+  let net = Network.create ~faults g (Rounds.create ()) in
+  (net, faults)
+
+(* ---------- fault-schedule determinism ---------- *)
+
+let run_lossy_bfs spec =
+  let rng = Rng.create 5 in
+  let g = Gen.connectivize rng (Gen.gnp rng ~n:30 ~p:0.12) in
+  let net, faults = lossy_net ~spec g in
+  let tree = Reliable.bfs_tree net ~root:0 in
+  (tree.Primitives.depth, Faults.trace faults, Faults.drops faults,
+   Rounds.total (Network.rounds net), Network.messages_sent net)
+
+let test_fault_determinism () =
+  let spec = Faults.lossy ~drop:0.15 ~duplicate:0.05 ~seed:1234 () in
+  let d1, t1, n1, r1, m1 = run_lossy_bfs spec in
+  let d2, t2, n2, r2, m2 = run_lossy_bfs spec in
+  Alcotest.(check (array int)) "same output" d1 d2;
+  Alcotest.(check bool) "same fault trace" true (t1 = t2);
+  Alcotest.(check int) "same drop count" n1 n2;
+  Alcotest.(check int) "same rounds" r1 r2;
+  Alcotest.(check int) "same messages" m1 m2;
+  (* a different seed gives a different adversary *)
+  let _, t3, _, _, _ = run_lossy_bfs (Faults.lossy ~drop:0.15 ~duplicate:0.05 ~seed:99 ()) in
+  Alcotest.(check bool) "different seed, different trace" false (t1 = t3)
+
+let test_zero_probability_is_fault_free () =
+  let rng = Rng.create 6 in
+  let g = Gen.connectivize rng (Gen.gnp rng ~n:25 ~p:0.15) in
+  let plain = Network.create g (Rounds.create ()) in
+  let reference = Primitives.bfs_tree plain ~root:0 in
+  let net, faults = lossy_net ~spec:(Faults.lossy ~drop:0.0 ~seed:7 ()) g in
+  let tree = Reliable.bfs_tree net ~root:0 in
+  Alcotest.(check (array int)) "depths" reference.Primitives.depth tree.Primitives.depth;
+  Alcotest.(check int) "no drops" 0 (Faults.drops faults);
+  Alcotest.(check bool) "empty trace" true (Faults.trace faults = [])
+
+(* ---------- reliable primitives under message loss ---------- *)
+
+let test_reliable_bfs_under_drops () =
+  let rng = Rng.create 8 in
+  let g = Gen.connectivize rng (Gen.gnp rng ~n:40 ~p:0.1) in
+  let net, faults = lossy_net ~spec:(Faults.lossy ~drop:0.2 ~duplicate:0.1 ~seed:3 ()) g in
+  let tree = Reliable.bfs_tree net ~root:0 in
+  Alcotest.(check (array int)) "depths equal BFS distances"
+    (Metrics.bfs_distances g 0) tree.Primitives.depth;
+  Alcotest.(check bool) "faults actually fired" true (Faults.drops faults > 0)
+
+let test_reliable_bfs_fault_free_matches () =
+  let rng = Rng.create 9 in
+  let g = Gen.connectivize rng (Gen.gnp rng ~n:30 ~p:0.12) in
+  let net = Network.create g (Rounds.create ()) in
+  let tree = Reliable.bfs_tree net ~root:3 in
+  Alcotest.(check (array int)) "depths" (Metrics.bfs_distances g 3) tree.Primitives.depth;
+  Alcotest.(check int) "root parent" 3 tree.Primitives.parent.(3);
+  Array.iteri
+    (fun v d ->
+      if v <> 3 && d <> max_int then
+        Alcotest.(check int) "parent one step closer" (d - 1)
+          tree.Primitives.depth.(tree.Primitives.parent.(v)))
+    tree.Primitives.depth
+
+let test_reliable_leader_under_drops () =
+  let rng = Rng.create 10 in
+  let g = Gen.connectivize rng (Gen.gnp rng ~n:35 ~p:0.1) in
+  let net, _ = lossy_net ~spec:(Faults.lossy ~drop:0.25 ~seed:11 ()) g in
+  let leaders = Reliable.elect_leader net in
+  Array.iteri (fun v l -> Alcotest.(check int) (Printf.sprintf "leader of %d" v) 0 l) leaders
+
+let test_reliable_rounds_overhead_charged () =
+  (* lossy runs must cost more rounds than fault-free ones, and the
+     ledger must carry the difference under the protocol label *)
+  let rng = Rng.create 12 in
+  let g = Gen.connectivize rng (Gen.gnp rng ~n:40 ~p:0.1) in
+  let base = Network.create g (Rounds.create ()) in
+  let _ = Reliable.bfs_tree base ~root:0 in
+  let base_rounds = List.assoc "bfs-reliable" (Rounds.by_phase (Network.rounds base)) in
+  let net, _ = lossy_net ~spec:(Faults.lossy ~drop:0.3 ~seed:13 ()) g in
+  let _ = Reliable.bfs_tree net ~root:0 in
+  let lossy_rounds = List.assoc "bfs-reliable" (Rounds.by_phase (Network.rounds net)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "lossy %d >= fault-free %d" lossy_rounds base_rounds)
+    true (lossy_rounds >= base_rounds)
+
+(* ---------- permanent link failures ---------- *)
+
+let test_link_failure_fails_delivery () =
+  let g = Gen.path 3 in
+  let spec = { Faults.none with Faults.link_failures = [ ((1, 2), 1) ]; Faults.seed = 1 } in
+  let faults = Faults.create spec in
+  let net = Network.create ~faults g (Rounds.create ()) in
+  let config = { Reliable.max_retries = 5; Reliable.give_up = false } in
+  (match Reliable.bfs_tree ~config net ~root:0 with
+  | exception Reliable.Delivery_failed { vertex; neighbor; attempts; _ } ->
+    Alcotest.(check int) "failing vertex" 1 vertex;
+    Alcotest.(check int) "unreachable neighbor" 2 neighbor;
+    Alcotest.(check int) "attempts = budget" 5 attempts
+  | _ -> Alcotest.fail "expected Delivery_failed");
+  (* the failed run still charged its rounds *)
+  Alcotest.(check bool) "rounds charged" true (Rounds.total (Network.rounds net) > 0);
+  (* the trace shows the dead link *)
+  Alcotest.(check bool) "link-down event recorded" true
+    (List.exists
+       (function Faults.Link_down { u = 1; v = 2; _ } -> true | _ -> false)
+       (Faults.trace faults))
+
+let test_link_failure_give_up_partitions () =
+  let g = Gen.path 3 in
+  let spec = { Faults.none with Faults.link_failures = [ ((1, 2), 1) ]; Faults.seed = 1 } in
+  let net = Network.create ~faults:(Faults.create spec) g (Rounds.create ()) in
+  let config = { Reliable.max_retries = 4; Reliable.give_up = true } in
+  let tree = Reliable.bfs_tree ~config net ~root:0 in
+  Alcotest.(check (array int)) "vertex 2 unreachable" [| 0; 1; max_int |] tree.Primitives.depth;
+  Alcotest.(check (array int)) "members" [| 0; 1 |] tree.Primitives.members
+
+(* ---------- crash-stop faults ---------- *)
+
+let test_crash_stop () =
+  let g = Gen.path 4 in
+  let spec = { Faults.none with Faults.crashes = [ (3, 1) ]; Faults.seed = 1 } in
+  let faults = Faults.create spec in
+  let net = Network.create ~faults g (Rounds.create ()) in
+  let config = { Reliable.max_retries = 4; Reliable.give_up = true } in
+  let tree = Reliable.bfs_tree ~config net ~root:0 in
+  Alcotest.(check (array int)) "crashed vertex outside tree"
+    [| 0; 1; 2; max_int |] tree.Primitives.depth;
+  Alcotest.(check bool) "crash event recorded" true
+    (List.exists
+       (function Faults.Crash { vertex = 3; _ } -> true | _ -> false)
+       (Faults.trace faults))
+
+(* ---------- congestion discipline still enforced under faults ---------- *)
+
+let test_validation_precedes_faults () =
+  (* even an adversary that drops everything does not excuse a
+     congestion violation: validation happens before fault application *)
+  let g = Gen.path 3 in
+  let spec = Faults.lossy ~drop:1.0 ~seed:2 () in
+  let net = Network.create ~faults:(Faults.create spec) g (Rounds.create ()) in
+  (match
+     Network.run_rounds net ~label:"bad"
+       ~init:(fun _ -> ())
+       ~step:(fun ~round:_ ~vertex st _ ->
+         if vertex = 0 then (st, [ (1, [| 1 |]); (1, [| 2 |]) ]) else (st, []))
+       1
+   with
+  | exception Network.Congestion_violation _ -> ()
+  | _ -> Alcotest.fail "expected Congestion_violation")
+
+let test_drop_everything_counts () =
+  let g = Gen.cycle 5 in
+  let faults = Faults.create (Faults.lossy ~drop:1.0 ~seed:3 ()) in
+  let net = Network.create ~faults g (Rounds.create ()) in
+  let step ~round ~vertex st _ =
+    if round = 1 then begin
+      let out = ref [] in
+      Graph.iter_neighbors g vertex (fun u -> out := (u, [| vertex |]) :: !out);
+      (st, !out)
+    end
+    else (st, [])
+  in
+  let _ = Network.run_rounds net ~label:"flood" ~init:(fun _ -> 0) ~step 2 in
+  Alcotest.(check int) "all 10 sends dropped" 10 (Faults.drops faults);
+  Alcotest.(check int) "nothing delivered" 0 (Network.messages_sent net)
+
+let test_duplicates_counted () =
+  let g = Gen.path 2 in
+  let faults = Faults.create (Faults.lossy ~drop:0.0 ~duplicate:1.0 ~seed:4 ()) in
+  let net = Network.create ~faults g (Rounds.create ()) in
+  let step ~round ~vertex st _ =
+    if round = 1 && vertex = 0 then (st, [ (1, [| 7 |]) ]) else (st, [])
+  in
+  let _ = Network.run_rounds net ~label:"dup" ~init:(fun _ -> 0) ~step 2 in
+  Alcotest.(check int) "one duplicate" 1 (Faults.duplicates faults);
+  Alcotest.(check int) "delivered twice" 2 (Network.messages_sent net)
+
+(* ---------- property: reliable BFS = centralized BFS under loss ---------- *)
+
+let prop_reliable_bfs_under_loss =
+  QCheck.Test.make ~name:"reliable BFS = centralized BFS under 15% loss" ~count:25
+    QCheck.(pair (int_range 2 25) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.connectivize rng (Gen.gnp rng ~n ~p:0.15) in
+      let faults = Faults.create (Faults.lossy ~drop:0.15 ~duplicate:0.05 ~seed ()) in
+      let net = Network.create ~faults g (Rounds.create ()) in
+      let tree = Reliable.bfs_tree net ~root:(seed mod n) in
+      tree.Primitives.depth = Metrics.bfs_distances g (seed mod n))
+
+let () =
+  Alcotest.run "faults"
+    [ ( "schedule",
+        [ Alcotest.test_case "deterministic from seed" `Quick test_fault_determinism;
+          Alcotest.test_case "p=0 is fault-free" `Quick test_zero_probability_is_fault_free;
+          Alcotest.test_case "drop everything" `Quick test_drop_everything_counts;
+          Alcotest.test_case "duplicates counted" `Quick test_duplicates_counted ] );
+      ( "reliable",
+        [ Alcotest.test_case "bfs under drops" `Quick test_reliable_bfs_under_drops;
+          Alcotest.test_case "bfs fault-free" `Quick test_reliable_bfs_fault_free_matches;
+          Alcotest.test_case "leader under drops" `Quick test_reliable_leader_under_drops;
+          Alcotest.test_case "overhead charged" `Quick test_reliable_rounds_overhead_charged;
+          QCheck_alcotest.to_alcotest prop_reliable_bfs_under_loss ] );
+      ( "failures",
+        [ Alcotest.test_case "link failure raises" `Quick test_link_failure_fails_delivery;
+          Alcotest.test_case "link failure give-up" `Quick test_link_failure_give_up_partitions;
+          Alcotest.test_case "crash stop" `Quick test_crash_stop;
+          Alcotest.test_case "validation precedes faults" `Quick test_validation_precedes_faults ] ) ]

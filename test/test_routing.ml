@@ -78,8 +78,23 @@ let test_route_src_eq_dst () =
 let test_route_disconnected_fails () =
   let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
   match Router.route ~max_rounds:200 g (Rng.create 17) [ { Router.src = 0; dst = 3 } ] with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected failure on disconnected pair"
+  | exception Router.Undelivered { pending; delivered; rounds; moves = _ } ->
+    Alcotest.(check int) "pending" 1 pending;
+    Alcotest.(check int) "delivered" 0 delivered;
+    Alcotest.(check int) "exhausted budget" 200 rounds
+  | _ -> Alcotest.fail "expected Undelivered on disconnected pair"
+
+let test_route_undelivered_context () =
+  (* zero round budget: the token never moves; the typed exception must
+     carry the full accounting so callers can report or retry *)
+  let g = Gen.path 3 in
+  match Router.route ~max_rounds:0 g (Rng.create 18) [ { Router.src = 0; dst = 2 } ] with
+  | exception Router.Undelivered { pending; delivered; rounds; moves } ->
+    Alcotest.(check int) "pending" 1 pending;
+    Alcotest.(check int) "delivered" 0 delivered;
+    Alcotest.(check int) "rounds" 0 rounds;
+    Alcotest.(check int) "moves" 0 moves
+  | _ -> Alcotest.fail "expected Undelivered with a zero budget"
 
 let test_route_validation () =
   let g = expander 19 32 4 in
@@ -158,6 +173,7 @@ let () =
         [ Alcotest.test_case "delivers all" `Quick test_route_delivers_all;
           Alcotest.test_case "src = dst" `Quick test_route_src_eq_dst;
           Alcotest.test_case "disconnected fails" `Quick test_route_disconnected_fails;
+          Alcotest.test_case "undelivered context" `Quick test_route_undelivered_context;
           Alcotest.test_case "validation" `Quick test_route_validation;
           Alcotest.test_case "degree respecting requests" `Quick test_degree_respecting_requests;
           Alcotest.test_case "expander routes fast" `Quick test_expander_routes_fast;

@@ -334,6 +334,49 @@ let test_partition_respects_most_balanced_reference () =
     Alcotest.(check bool) "Theorem 3 balance" true
       (r.Partition.balance >= Float.min (b /. 2.0) (1.0 /. 48.0) -. 1e-9)
 
+(* ---------- run_verified (Las Vegas wrapper) ---------- *)
+
+let test_run_verified_accepts_dumbbell () =
+  let rng = Rng.create 53 in
+  let g = Gen.dumbbell rng ~n1:60 ~n2:60 ~d:6 ~bridges:2 in
+  let phi = 1.0 /. 16.0 in
+  let params = mk_params phi (Graph.num_edges g) in
+  let bound = Params.h ~n:(Graph.num_vertices g) phi in
+  match Partition.run_verified ~attempts:3 ~bound params g rng with
+  | Error _ -> Alcotest.fail "dumbbell run should certify within 3 attempts"
+  | Ok o ->
+    Alcotest.(check bool) "acceptable" true (Partition.acceptable ~bound o.Partition.value);
+    Alcotest.(check bool) "attempts in budget" true
+      (o.Partition.attempts >= 1 && o.Partition.attempts <= 3);
+    Alcotest.(check bool) "rounds summed" true
+      (o.Partition.rounds_total >= o.Partition.value.Partition.rounds)
+
+let test_run_verified_reports_best_on_failure () =
+  let rng = Rng.create 59 in
+  let g = Gen.dumbbell rng ~n1:40 ~n2:40 ~d:6 ~bridges:2 in
+  let params = mk_params (1.0 /. 16.0) (Graph.num_edges g) in
+  (* an absurd bound no non-empty cut can meet: every attempt fails,
+     but the wrapper must return its best attempt with full context *)
+  match Partition.run_verified ~attempts:2 ~bound:1e-9 params g rng with
+  | Ok o when Partition.certified_no_sparse_cut o.Partition.value ->
+    (* certified-empty is acceptable by definition; nothing to check *)
+    ()
+  | Ok _ -> Alcotest.fail "a non-empty cut cannot meet a 1e-9 bound"
+  | Error e ->
+    Alcotest.(check int) "used full budget" 2 e.Partition.attempts;
+    Alcotest.(check bool) "best attempt carried" true
+      (Array.length e.Partition.value.Partition.cut > 0);
+    Alcotest.(check bool) "rounds accumulated" true
+      (e.Partition.rounds_total >= e.Partition.value.Partition.rounds)
+
+let test_run_verified_validation () =
+  let g = Gen.barbell ~clique:6 ~bridge:0 in
+  let params = mk_params (1.0 /. 16.0) (Graph.num_edges g) in
+  Alcotest.check_raises "attempts must be >= 1"
+    (Invalid_argument "Partition.run_verified: attempts must be >= 1")
+    (fun () ->
+      ignore (Partition.run_verified ~attempts:0 ~bound:1.0 params g (Rng.create 1)))
+
 (* ---------- ACL personalized PageRank ---------- *)
 
 module Ppr = Dex_sparsecut.Pagerank_cut
@@ -508,6 +551,11 @@ let () =
           Alcotest.test_case "empty graph" `Quick test_partition_empty_graph;
           Alcotest.test_case "balance vs exact reference" `Quick
             test_partition_respects_most_balanced_reference ] );
+      ( "run-verified",
+        [ Alcotest.test_case "accepts dumbbell" `Quick test_run_verified_accepts_dumbbell;
+          Alcotest.test_case "best attempt on failure" `Quick
+            test_run_verified_reports_best_on_failure;
+          Alcotest.test_case "validation" `Quick test_run_verified_validation ] );
       ( "pagerank",
         [ Alcotest.test_case "push invariants" `Quick test_ppr_invariants;
           Alcotest.test_case "finds barbell cut" `Quick test_ppr_finds_barbell_cut;

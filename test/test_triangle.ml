@@ -209,6 +209,26 @@ let test_reference_formulas () =
   Alcotest.(check bool) "LB grows" true
     (Baselines.lower_bound_rounds ~n:100_000 > Baselines.lower_bound_rounds ~n:100)
 
+let test_run_verified_complete () =
+  let rng = Rng.create 67 in
+  let g = Gen.connectivize rng (Gen.gnp rng ~n:40 ~p:0.25) in
+  match Enum.run_verified ~attempts:3 g (Rng.create 68) with
+  | Error _ -> Alcotest.fail "enumeration should certify within 3 attempts"
+  | Ok o ->
+    Alcotest.(check bool) "complete" true o.Enum.value.Enum.complete;
+    Alcotest.(check bool) "attempts in budget" true
+      (o.Enum.attempts >= 1 && o.Enum.attempts <= 3);
+    Alcotest.(check bool) "rounds summed" true
+      (o.Enum.rounds_total >= o.Enum.value.Enum.total_rounds);
+    Alcotest.(check (list (triple int int int))) "matches naive"
+      (naive_triangles g) o.Enum.value.Enum.triangles
+
+let test_run_verified_validation () =
+  let g = Gen.complete 4 in
+  Alcotest.check_raises "attempts must be >= 1"
+    (Invalid_argument "Expander_enum.run_verified: attempts must be >= 1")
+    (fun () -> ignore (Enum.run_verified ~attempts:0 g (Rng.create 1)))
+
 let prop_enum_complete =
   QCheck.Test.make ~name:"expander enumeration = ground truth" ~count:6
     QCheck.(pair (int_range 20 60) (int_bound 10_000))
@@ -235,6 +255,8 @@ let () =
           Alcotest.test_case "cliques chain" `Quick test_enum_cliques_chain;
           Alcotest.test_case "instances formula" `Quick test_instances_formula;
           Alcotest.test_case "level reports" `Quick test_level_reports_consistent;
+          Alcotest.test_case "run_verified complete" `Quick test_run_verified_complete;
+          Alcotest.test_case "run_verified validation" `Quick test_run_verified_validation;
           QCheck_alcotest.to_alcotest prop_enum_complete ] );
       ( "dlp",
         [ Alcotest.test_case "complete & counts" `Quick test_dlp_complete_and_counts;
