@@ -20,23 +20,54 @@
 
    `dune exec bench/main.exe` runs everything at default sizes;
    `dune exec bench/main.exe -- quick` shrinks the sweeps;
-   `dune exec bench/main.exe -- e5` runs a single section. *)
+   `dune exec bench/main.exe -- e5` runs a single section;
+   `dune exec bench/main.exe -- quick --json out.json` additionally
+   writes the machine-readable snapshot (schema: DESIGN.md §8). *)
 
 module X = Dexpander
 module Table = X.Table
+module Snap = X.Bench_snapshot
 
 let quick = ref false
 let only : string list ref = ref []
+let json_path : string option ref = ref None
 
 let wants name = !only = [] || List.mem name !only
 
 let fi = float_of_int
 
+(* snapshot collection: every table printed and every note emitted by a
+   section is also captured for the --json export *)
+let sections_acc : Snap.section list ref = ref []
+let cur_tables : Snap.table list ref = ref []
+let cur_notes : string list ref = ref []
+
+let out_table t =
+  Table.print t;
+  cur_tables :=
+    Snap.table ~title:(Table.title t) ~headers:(Table.headers t) (Table.rows t)
+    :: !cur_tables
+
+let note fmt =
+  Printf.ksprintf
+    (fun s ->
+      print_string s;
+      cur_notes := String.trim s :: !cur_notes)
+    fmt
+
 let section name title f =
   if wants name then begin
     Printf.printf "\n### [%s] %s\n\n%!" (String.uppercase_ascii name) title;
+    cur_tables := [];
+    cur_notes := [];
     f ();
-    print_newline ()
+    print_newline ();
+    sections_acc :=
+      { Snap.id = name;
+        title;
+        tables = List.rev !cur_tables;
+        notes = List.rev !cur_notes }
+      :: !sections_acc
   end
 
 (* ------------------------------------------------------------------ *)
@@ -83,7 +114,7 @@ let e1_ldd () =
               string_of_int r.X.Ldd.rounds ])
         seeds)
     cases;
-  Table.print t
+  out_table t
 
 (* ------------------------------------------------------------------ *)
 (* E2 — Theorem 3: nearly most balanced sparse cut                     *)
@@ -122,7 +153,7 @@ let e2_sparsecut () =
           Printf.sprintf "%.2f" (X.Nibble_params.h ~n phi);
           string_of_int r.X.Sparse_cut.rounds ])
     cases;
-  Table.print t
+  out_table t
 
 (* ------------------------------------------------------------------ *)
 (* E3 — Theorem 3 vs prior cut algorithms                              *)
@@ -197,7 +228,7 @@ let e3_baselines () =
             string_of_int c.X.Pagerank_cut.pushes ]
       | None -> ())
     graphs;
-  Table.print t
+  out_table t
 
 (* ------------------------------------------------------------------ *)
 (* E4 — Theorem 1: decomposition quality                               *)
@@ -242,7 +273,7 @@ let e4_decomp_quality () =
            then "yes"
            else "NO") ])
     cases;
-  Table.print t
+  out_table t
 
 (* ------------------------------------------------------------------ *)
 (* E5 — Theorem 1: rounds scaling in n and k                           *)
@@ -276,7 +307,7 @@ let e5_decomp_rounds () =
   let t =
     Table.create ~title:"Decomposition scaling in n and k (Theorem 1 / Lemma 2)"
       [ "n"; "m"; "k"; "tau"; "iter-cap=2tau*k"; "phase2-iters"; "partition-calls";
-        "parts"; "rounds" ]
+        "parts"; "rounds"; "msgs"; "words" ]
   in
   let ns = if !quick then [ 128; 256 ] else [ 128; 256; 512; 1024 ] in
   let ks = if !quick then [ 1; 2 ] else [ 1; 2; 3 ] in
@@ -306,19 +337,21 @@ let e5_decomp_rounds () =
               string_of_int iters;
               string_of_int r.X.Decomposition.stats.X.Decomposition.partition_calls;
               string_of_int (List.length r.X.Decomposition.parts);
-              string_of_int rounds ])
+              string_of_int rounds;
+              string_of_int r.X.Decomposition.stats.X.Decomposition.messages;
+              string_of_int r.X.Decomposition.stats.X.Decomposition.words ])
         ks)
     ns;
-  Table.print t;
-  Printf.printf "\nLemma 2 iteration-cap violations: %d (theory: 0)\n" !cap_violations;
+  out_table t;
+  note "\nLemma 2 iteration-cap violations: %d (theory: 0)\n" !cap_violations;
   if not !quick then begin
-    Printf.printf
+    note
       "log-log slope of total rounds vs n (dominated by poly(1/phi), context only):\n";
     List.iter
       (fun k ->
         match Hashtbl.find_opt per_k k with
         | Some pts when List.length pts >= 2 ->
-          Printf.printf "  k=%d: slope %.2f\n" k (X.Stats.log_log_slope pts)
+          note "  k=%d: slope %.2f\n" k (X.Stats.log_log_slope pts)
         | _ -> ())
       ks
   end
@@ -359,7 +392,7 @@ let e6_vs_cpz () =
           string_of_int cpz.X.Cpz_baseline.leftover_arboricity;
           Table.fmt_pct cpz.X.Cpz_baseline.removed_edge_fraction ])
     graphs;
-  Table.print t
+  out_table t
 
 (* ------------------------------------------------------------------ *)
 (* E7 — Theorem 2: triangle enumeration                                *)
@@ -372,7 +405,7 @@ let e7_triangles () =
         "Triangle enumeration on G(n, 1/2) (the lower-bound family): rounds vs baselines \
          (Theorem 2)"
       [ "n"; "m"; "triangles"; "complete"; "enum-rounds"; "instances"; "total-rounds";
-        "trivial"; "DLP-exec"; "IL~n^3/4"; "LB~n^1/3" ]
+        "msgs"; "words"; "trivial"; "DLP-exec"; "IL~n^3/4"; "LB~n^1/3" ]
   in
   let ns = if !quick then [ 64; 96 ] else [ 64; 128; 192; 256 ] in
   let pts_inst = ref [] in
@@ -395,14 +428,16 @@ let e7_triangles () =
           string_of_int r.X.Triangle_enum.enumeration_rounds;
           string_of_int max_inst;
           string_of_int r.X.Triangle_enum.total_rounds;
+          string_of_int r.X.Triangle_enum.messages;
+          string_of_int r.X.Triangle_enum.words;
           string_of_int (X.Triangle_baselines.trivial_rounds g);
           string_of_int dlp.X.Triangle_dlp.rounds;
           string_of_int (X.Triangle_baselines.izumi_le_gall_rounds ~n);
           string_of_int (X.Triangle_baselines.lower_bound_rounds ~n) ])
     ns;
-  Table.print t;
+  out_table t;
   if List.length !pts_inst >= 2 then
-    Printf.printf
+    note
       "\nlog-log slope of routing instances vs n: %.2f (theory: 1/3)\n"
       (X.Stats.log_log_slope !pts_inst)
 
@@ -444,11 +479,11 @@ let e8_routing () =
           string_of_int h.X.Routing.query_rounds;
           break_even ])
     hs;
-  Table.print t;
+  out_table t;
   (* executed token routing as the delivery sanity check *)
   let requests = X.Token_router.degree_respecting_requests g (X.Rng.create 53) ~load:0.5 in
   let stats = X.Token_router.route ~capacity:4 g (X.Rng.create 54) requests in
-  Printf.printf
+  note
     "\nexecuted token routing: %d requests delivered in %d rounds (max queue %d)\n"
     stats.X.Token_router.delivered stats.X.Token_router.rounds stats.X.Token_router.max_queue
 
@@ -483,7 +518,7 @@ let e9_ablations () =
               string_of_int r.X.Decomposition.stats.X.Decomposition.partition_calls ])
         (if !quick then [ 1; 2 ] else [ 1; 2; 3; 4 ]))
     families;
-  Table.print t;
+  out_table t;
   (* (b) sweep stride: every-step (the paper) vs strided checks, on an
      instance whose cut is discovered late in the walk *)
   let t2 =
@@ -504,7 +539,7 @@ let e9_ablations () =
           Printf.sprintf "%.3f" r.X.Sparse_cut.balance;
           string_of_int r.X.Sparse_cut.rounds ])
     [ 1; 4; 16; 64 ];
-  Table.print t2;
+  out_table t2;
   (* (c) ParallelNibble copy count: probability of hitting a 2%-volume
      wart grows with the number of degree-sampled start vertices *)
   let t3 =
@@ -541,7 +576,7 @@ let e9_ablations () =
           Printf.sprintf "%.1f" (fi !overlaps /. 10.0);
           string_of_int !aborts ])
     [ 1; 2; 4; 8 ];
-  Table.print t3
+  out_table t3
 
 (* ------------------------------------------------------------------ *)
 (* E10 — Bechamel micro-benchmarks                                     *)
@@ -554,6 +589,29 @@ let e10_micro () =
   let cyc = X.Generators.cycle 4096 in
   let dist = X.Walk.degree_distribution g in
   let sparse = X.Walk.truncated_walk g ~src:0 ~eps:1e-7 ~steps:4 in
+  (* tracing-overhead pair: the same 8-round flood on the same cycle,
+     one network with no trace attached, one with round ticks + edge
+     histograms live. The plain variant is the zero-overhead claim of
+     DESIGN.md §8 — its cost must match the kernel before tracing
+     existed. *)
+  let flood_cycle = X.Generators.cycle 512 in
+  let flood net () =
+    ignore
+      (X.Network.run_rounds net ~label:"bench-flood"
+         ~init:(fun v -> v land 1)
+         ~step:(fun ~round:_ ~vertex:v st inbox ->
+           let st = List.fold_left (fun acc (_, m) -> acc lxor m.(0)) st inbox in
+           let out = ref [] in
+           X.Graph.iter_neighbors flood_cycle v (fun u -> out := (u, [| st |]) :: !out);
+           (st, !out))
+         8)
+  in
+  let plain_net = X.Network.create flood_cycle (X.Rounds.create ()) in
+  let traced_net =
+    let ledger = X.Rounds.create () in
+    X.Rounds.attach_trace ledger (Some (X.Trace.create ~capacity:4096 ()));
+    X.Network.create flood_cycle ledger
+  in
   let tests =
     [ Test.make ~name:"walk-step-dense" (Staged.stage (fun () -> X.Walk.step_dense g dist));
       Test.make ~name:"walk-step-sparse"
@@ -568,7 +626,9 @@ let e10_micro () =
         (Staged.stage (fun () ->
              X.Clustering.run
                (X.Network.create cyc (X.Rounds.create ()))
-               ~beta:0.5 (X.Rng.create 2))) ]
+               ~beta:0.5 (X.Rng.create 2)));
+      Test.make ~name:"net-round-plain" (Staged.stage (flood plain_net));
+      Test.make ~name:"net-round-traced" (Staged.stage (flood traced_net)) ]
   in
   let test = Test.make_grouped ~name:"dexpander" ~fmt:"%s/%s" tests in
   let ols =
@@ -591,7 +651,7 @@ let e10_micro () =
           Table.add_row t [ name; Printf.sprintf "%.0f" est ])
         (List.sort compare rows))
     results;
-  Table.print t
+  out_table t
 
 (* ------------------------------------------------------------------ *)
 (* E11 — strawman recursion depth & sequential ST Partition            *)
@@ -628,7 +688,7 @@ let e11_strawman () =
           string_of_int ours.X.Decomposition.schedule.X.Schedule.d;
           Table.fmt_pct ours.X.Decomposition.edge_fraction_removed ])
     chains;
-  Table.print t;
+  out_table t;
   (* (b) sequential Spielman-Teng Partition vs the parallelized one *)
   let t2 =
     Table.create
@@ -658,7 +718,7 @@ let e11_strawman () =
           string_of_int par.X.Sparse_cut.rounds;
           string_of_int par.X.Sparse_cut.iterations ])
     graphs;
-  Table.print t2
+  out_table t2
 
 (* ------------------------------------------------------------------ *)
 (* E12 — Jerrum–Sinclair mixing/conductance relation                   *)
@@ -693,7 +753,7 @@ let e12_mixing () =
           Printf.sprintf "%.0f" (1.0 /. phi);
           Printf.sprintf "%.0f" (log (fi n) /. (phi *. phi)) ])
     cases;
-  Table.print t
+  out_table t
 
 (* ------------------------------------------------------------------ *)
 (* E13 — fault sweep: reliable delivery and Las Vegas retries          *)
@@ -709,8 +769,8 @@ let e13_faults () =
         (Printf.sprintf
            "Reliable delivery on a lossy SBM (n=%d): rounds/messages vs fault-free"
            (X.Graph.num_vertices g))
-      [ "protocol"; "p-drop"; "p-dup"; "rounds"; "msgs"; "dropped"; "duplicated";
-        "round-ovh"; "msg-ovh"; "correct" ]
+      [ "protocol"; "p-drop"; "p-dup"; "rounds"; "msgs"; "words"; "dropped";
+        "duplicated"; "round-ovh"; "msg-ovh"; "correct" ]
   in
   let truth = X.Metrics.bfs_distances g 0 in
   let run_protocol proto p =
@@ -731,30 +791,31 @@ let e13_faults () =
     in
     let rounds = try List.assoc label (X.Rounds.by_phase ledger) with Not_found -> 0 in
     let msgs = X.Network.messages_sent net in
+    let words = X.Network.words_sent net in
     let drops, dups =
       match faults with
       | None -> (0, 0)
       | Some f -> (X.Faults.drops f, X.Faults.duplicates f)
     in
-    (rounds, msgs, drops, dups, correct)
+    (rounds, msgs, words, drops, dups, correct)
   in
   List.iter
     (fun proto ->
       let name = match proto with `Bfs -> "bfs" | `Leader -> "leader" in
-      let r0, m0, _, _, _ = run_protocol proto 0.0 in
+      let r0, m0, _, _, _, _ = run_protocol proto 0.0 in
       List.iter
         (fun p ->
-          let r, m, drops, dups, correct = run_protocol proto p in
+          let r, m, w, drops, dups, correct = run_protocol proto p in
           Table.add_row t
             [ name; Printf.sprintf "%.2f" p; Printf.sprintf "%.3f" (p /. 2.0);
-              string_of_int r; string_of_int m; string_of_int drops;
-              string_of_int dups;
+              string_of_int r; string_of_int m; string_of_int w;
+              string_of_int drops; string_of_int dups;
               Printf.sprintf "%.2fx" (fi r /. fi (max 1 r0));
               Printf.sprintf "%.2fx" (fi m /. fi (max 1 m0));
               (if correct then "yes" else "NO") ])
         [ 0.0; 0.01; 0.05; 0.1 ])
     [ `Bfs; `Leader ];
-  Table.print t;
+  out_table t;
   (* --- Las Vegas retry wrappers: pay rounds until self-certified --- *)
   let t2 =
     Table.create
@@ -818,30 +879,57 @@ let e13_faults () =
       [ "sparse-cut"; "dumbbell"; string_of_int (X.Graph.num_vertices dumb);
         string_of_int f.X.Sparse_cut.attempts;
         string_of_int f.X.Sparse_cut.rounds_total; "-"; "NO" ]);
-  Table.print t2
+  out_table t2
 
 (* ------------------------------------------------------------------ *)
 
+let registry =
+  [ ("e1", "Theorem 4: low-diameter decomposition", e1_ldd);
+    ("e2", "Theorem 3: nearly most balanced sparse cut", e2_sparsecut);
+    ("e3", "Theorem 3 vs prior sparse-cut algorithms", e3_baselines);
+    ("e4", "Theorem 1: decomposition quality", e4_decomp_quality);
+    ("e5", "Theorem 1: rounds scaling", e5_decomp_rounds);
+    ("e6", "Theorem 1 vs CPZ'19", e6_vs_cpz);
+    ("e7", "Theorem 2: triangle enumeration", e7_triangles);
+    ("e8", "GKS routing trade-off", e8_routing);
+    ("e9", "Ablations", e9_ablations);
+    ("e10", "Micro-benchmarks (Bechamel)", e10_micro);
+    ("e11", "Strawman recursion & sequential ST Partition", e11_strawman);
+    ("e12", "Jerrum-Sinclair mixing relation", e12_mixing);
+    ("e13", "Fault sweep: reliable delivery & Las Vegas retries", e13_faults) ]
+
 let () =
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "quick" -> quick := true
-        | name -> only := String.lowercase_ascii name :: !only)
-    Sys.argv;
+  let rec parse = function
+    | [] -> ()
+    | "quick" :: rest ->
+      quick := true;
+      parse rest
+    | [ "--json" ] ->
+      prerr_endline "bench: --json requires a file path";
+      exit 2
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | name :: rest ->
+      let name = String.lowercase_ascii name in
+      if List.exists (fun (id, _, _) -> id = name) registry then begin
+        only := name :: !only;
+        parse rest
+      end
+      else begin
+        Printf.eprintf
+          "bench: unknown section %S; valid sections: %s (plus 'quick' and '--json PATH')\n"
+          name
+          (String.concat ", " (List.map (fun (id, _, _) -> id) registry));
+        exit 2
+      end
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   Printf.printf "dexpander benchmark harness — %s mode\n"
     (if !quick then "quick" else "full");
-  section "e1" "Theorem 4: low-diameter decomposition" e1_ldd;
-  section "e2" "Theorem 3: nearly most balanced sparse cut" e2_sparsecut;
-  section "e3" "Theorem 3 vs prior sparse-cut algorithms" e3_baselines;
-  section "e4" "Theorem 1: decomposition quality" e4_decomp_quality;
-  section "e5" "Theorem 1: rounds scaling" e5_decomp_rounds;
-  section "e6" "Theorem 1 vs CPZ'19" e6_vs_cpz;
-  section "e7" "Theorem 2: triangle enumeration" e7_triangles;
-  section "e8" "GKS routing trade-off" e8_routing;
-  section "e9" "Ablations" e9_ablations;
-  section "e10" "Micro-benchmarks (Bechamel)" e10_micro;
-  section "e11" "Strawman recursion & sequential ST Partition" e11_strawman;
-  section "e12" "Jerrum-Sinclair mixing relation" e12_mixing;
-  section "e13" "Fault sweep: reliable delivery & Las Vegas retries" e13_faults
+  List.iter (fun (id, title, f) -> section id title f) registry;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    Snap.write ~path ~mode:(if !quick then "quick" else "full") (List.rev !sections_acc);
+    Printf.printf "\nwrote JSON snapshot to %s\n" path

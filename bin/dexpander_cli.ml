@@ -272,10 +272,113 @@ let faults_cmd =
       const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
       $ degree_t $ drop_t $ dup_t $ fault_seed_t $ retries_t)
 
+let trace_cmd =
+  let algo_t =
+    let algo =
+      Arg.enum
+        [ ("decompose", `Decompose); ("sparse-cut", `Sparse_cut); ("triangles", `Triangles) ]
+    in
+    Arg.(
+      required
+      & pos 0 (some algo) None
+      & info [] ~docv:"ALGO"
+          ~doc:"Algorithm to trace: $(b,decompose), $(b,sparse-cut) or $(b,triangles).")
+  in
+  let top_t =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Hot-edge listing length.")
+  in
+  let jsonl_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"PATH"
+          ~doc:"Stream every trace event to PATH as JSON Lines (schema: DESIGN.md §8).")
+  in
+  let run family file n seed p parts p_in p_out degree epsilon k phi algo top jsonl =
+    let g = graph_of family file n seed p parts p_in p_out degree in
+    describe g;
+    let sink = Option.map open_out jsonl in
+    let trace = X.Trace.create ?sink () in
+    let ledger = X.Rounds.create () in
+    X.Rounds.attach_trace ledger (Some trace);
+    (match algo with
+    | `Decompose ->
+      let r = X.decompose ~ledger ~epsilon ~k g ~seed in
+      Printf.printf "decompose: parts=%d removed=%.2f%% rounds(makespan)=%d\n"
+        (List.length r.X.Decomposition.parts)
+        (100.0 *. r.X.Decomposition.edge_fraction_removed)
+        r.X.Decomposition.stats.X.Decomposition.rounds
+    | `Sparse_cut ->
+      let r = X.sparse_cut ~ledger ~phi g ~seed in
+      Printf.printf "sparse-cut: |C|=%d conductance=%s rounds=%d\n"
+        (Array.length r.X.Sparse_cut.cut)
+        (if Float.is_finite r.X.Sparse_cut.conductance then
+           Printf.sprintf "%.4f" r.X.Sparse_cut.conductance
+         else "inf")
+        r.X.Sparse_cut.rounds
+    | `Triangles ->
+      let r = X.enumerate_triangles ~ledger ~epsilon ~k g ~seed in
+      Printf.printf "triangles: found=%d complete=%b rounds(makespan)=%d\n"
+        (List.length r.X.Triangle_enum.triangles)
+        r.X.Triangle_enum.complete r.X.Triangle_enum.total_rounds);
+    (match sink with Some oc -> close_out oc | None -> ());
+    (* hierarchical span tree: every charge sits on a leaf, so the leaf
+       totals sum to the ledger total by construction *)
+    Printf.printf "\nspan tree (ledger rounds; sequential sum over components):\n";
+    let rec print_node indent (node : X.Rounds.tree) =
+      Printf.printf "%s%s  %d rounds%s%s\n" indent node.X.Rounds.span node.X.Rounds.rounds
+        (if node.X.Rounds.self > 0 && node.X.Rounds.children <> [] then
+           Printf.sprintf " (self %d)" node.X.Rounds.self
+         else "")
+        (if node.X.Rounds.wall_ns > 0 then
+           Printf.sprintf "  [%.2f ms]" (float_of_int node.X.Rounds.wall_ns /. 1e6)
+         else "");
+      List.iter (print_node (indent ^ "  ")) node.X.Rounds.children
+    in
+    let tree = X.Rounds.tree ledger in
+    print_node "  " tree;
+    let rec leaf_sum (node : X.Rounds.tree) =
+      node.X.Rounds.self + List.fold_left (fun acc c -> acc + leaf_sum c) 0 node.X.Rounds.children
+    in
+    Printf.printf "  leaf-sum=%d ledger-total=%d%s\n" (leaf_sum tree)
+      (X.Rounds.total ledger)
+      (if leaf_sum tree = X.Rounds.total ledger then "" else "  MISMATCH");
+    (match X.Trace.top_edges trace top with
+    | [] -> Printf.printf "\nno executed message traffic (all phases accounted)\n"
+    | edges ->
+      Printf.printf "\ntop-%d congested edges (cumulative deliveries):\n"
+        (List.length edges);
+      List.iter
+        (fun ((u, v), load) -> Printf.printf "  (%d,%d)  %d\n" u v load)
+        edges);
+    Printf.printf "\nper-phase rounds (flat):\n";
+    List.iter
+      (fun (label, rounds) -> Printf.printf "  %-24s %d\n" label rounds)
+      (X.Rounds.by_phase ledger);
+    Printf.printf
+      "\ntrace: events=%d retained=%d dropped=%d messages=%d words=%d faults=%d retries=%d\n"
+      (X.Trace.emitted trace)
+      (List.length (X.Trace.events trace))
+      (X.Trace.dropped trace) (X.Trace.messages trace) (X.Trace.words trace)
+      (X.Trace.faults trace) (X.Trace.retries trace);
+    match jsonl with
+    | Some path -> Printf.printf "wrote JSONL events to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run an algorithm under structured tracing and print its span tree, hot edges \
+          and per-phase summary.")
+    Term.(
+      const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
+      $ degree_t $ epsilon_t $ k_t $ phi_t $ algo_t $ top_t $ jsonl_t)
+
 let () =
   let doc = "Distributed expander decomposition and triangle enumeration (PODC 2019)" in
   let info = Cmd.info "dexpander" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; decompose_cmd; sparse_cut_cmd; ldd_cmd; triangles_cmd; faults_cmd ]))
+          [ generate_cmd; decompose_cmd; sparse_cut_cmd; ldd_cmd; triangles_cmd;
+            faults_cmd; trace_cmd ]))

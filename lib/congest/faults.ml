@@ -26,6 +26,7 @@ type t = {
   mutable events : fault list; (* reversed *)
   mutable drops : int;
   mutable duplicates : int;
+  mutable observer : (fault -> unit) option;
 }
 
 let check_prob name p =
@@ -57,7 +58,8 @@ let create spec =
     announced_crashes = Hashtbl.create 8;
     events = [];
     drops = 0;
-    duplicates = 0 }
+    duplicates = 0;
+    observer = None }
 
 let spec t = t.spec
 let trace t = List.rev t.events
@@ -71,7 +73,11 @@ let reset t =
   Hashtbl.reset t.announced_links;
   Hashtbl.reset t.announced_crashes
 
-let record t e = t.events <- e :: t.events
+let set_observer t obs = t.observer <- obs
+
+let record t e =
+  t.events <- e :: t.events;
+  match t.observer with Some f -> f e | None -> ()
 
 (* splitmix64 finalizer (as in Dex_util.Rng): the fault coin for a
    message is a pure hash of (seed, round, src, dst, salt), never a

@@ -68,6 +68,14 @@ val duplicates : t -> int
     deterministic decisions replay identically afterwards. *)
 val reset : t -> unit
 
+(** [set_observer t obs] installs a callback invoked on every recorded
+    fault event, in addition to the trace. The structured-tracing
+    bridge uses this: {!Network.create} registers an observer that
+    mirrors each event into the attached {!Dex_obs.Trace.t} (replacing
+    any previous observer — a schedule shared between networks reports
+    to the network created last). [None] uninstalls. *)
+val set_observer : t -> (fault -> unit) option -> unit
+
 (** [crashed t ~round ~vertex] is [true] when [vertex] has crash-stopped
     by [round]. Records the [Crash] event on first observation. *)
 val crashed : t -> round:int -> vertex:int -> bool

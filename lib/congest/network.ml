@@ -1,4 +1,5 @@
 module Graph = Dex_graph.Graph
+module Trace = Dex_obs.Trace
 
 exception Congestion_violation of string
 
@@ -19,20 +20,50 @@ type t = {
   ledger : Rounds.t;
   word_size : int;
   faults : Faults.t option;
+  vertex_map : int array option; (* local -> original-graph vertex ids *)
+  trace : Trace.t option; (* cached from the ledger at creation *)
   mutable messages : int;
+  mutable words : int;
 }
 
 type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (int * message) list
 
-let create ?(word_size = 1) ?faults graph ledger =
+let create ?(word_size = 1) ?faults ?vertex_map graph ledger =
   if word_size < 1 then invalid_arg "Network.create: word_size must be >= 1";
-  { graph; ledger; word_size; faults; messages = 0 }
+  (match vertex_map with
+  | Some map when Array.length map <> Graph.num_vertices graph ->
+    invalid_arg "Network.create: vertex_map length must equal the vertex count"
+  | _ -> ());
+  let trace = Rounds.trace ledger in
+  let map v = match vertex_map with Some m -> m.(v) | None -> v in
+  (match (faults, trace) with
+  | Some f, Some tr ->
+    (* bridge every fault decision into the structured trace, in
+       original-graph coordinates *)
+    Faults.set_observer f
+      (Some
+         (fun fault ->
+           let kind, round, src, dst =
+             match fault with
+             | Faults.Drop { round; src; dst } -> ("drop", round, map src, map dst)
+             | Faults.Duplicate { round; src; dst } ->
+               ("duplicate", round, map src, map dst)
+             | Faults.Link_down { round; u; v } -> ("link-down", round, map u, map v)
+             | Faults.Crash { round; vertex } -> ("crash", round, map vertex, -1)
+           in
+           Trace.fault tr ~kind ~round ~src ~dst))
+  | _ -> ());
+  { graph; ledger; word_size; faults; vertex_map; trace; messages = 0; words = 0 }
 
 let graph t = t.graph
 let messages_sent t = t.messages
+let words_sent t = t.words
 let rounds t = t.ledger
 let faults t = t.faults
+let vertex_map t = t.vertex_map
 let charge t ~label k = Rounds.charge t.ledger ~label k
+
+let top_edges t k = match t.trace with Some tr -> Trace.top_edges tr k | None -> []
 
 let validate_outbox t v outbox =
   (* one message per incident edge: with simple graphs this is one per
@@ -55,11 +86,34 @@ let validate_outbox t v outbox =
       Hashtbl.replace seen u ())
     outbox
 
+(* per-round tracing accumulators; allocated only when a trace is
+   attached, so disabled tracing costs one match per delivery *)
+type round_stats = {
+  tr : Trace.t;
+  loads : (int * int, int) Hashtbl.t; (* local undirected edge -> deliveries *)
+  touched : bool array;
+}
+
 let exec_round t ~round states inboxes step =
   let n = Graph.num_vertices t.graph in
   let next_inboxes = Array.make n [] in
+  let stats =
+    match t.trace with
+    | None -> None
+    | Some tr -> Some { tr; loads = Hashtbl.create 64; touched = Array.make n false }
+  in
+  let messages_before = t.messages and words_before = t.words in
   let deliver src dst msg =
     t.messages <- t.messages + 1;
+    t.words <- t.words + Array.length msg;
+    (match stats with
+    | Some { loads; touched; _ } ->
+      touched.(src) <- true;
+      touched.(dst) <- true;
+      let e = (min src dst, max src dst) in
+      let prev = try Hashtbl.find loads e with Not_found -> 0 in
+      Hashtbl.replace loads e (prev + 1)
+    | None -> ());
     next_inboxes.(dst) <- (src, msg) :: next_inboxes.(dst)
   in
   for v = 0 to n - 1 do
@@ -88,6 +142,22 @@ let exec_round t ~round states inboxes step =
         outbox
     end
   done;
+  (match stats with
+  | Some { tr; loads; touched } ->
+    let map v = match t.vertex_map with Some m -> m.(v) | None -> v in
+    let max_load = ref 0 in
+    Hashtbl.iter
+      (fun (u, v) c ->
+        if c > !max_load then max_load := c;
+        Trace.count_edge tr (map u) (map v) ~by:c)
+      loads;
+    let active = ref 0 in
+    Array.iter (fun b -> if b then incr active) touched;
+    Trace.round_tick tr ~round
+      ~messages:(t.messages - messages_before)
+      ~words:(t.words - words_before)
+      ~max_edge_load:!max_load ~active:!active
+  | None -> ());
   next_inboxes
 
 let run t ~label ~init ~step ~finished ?(max_rounds = 1_000_000) () =

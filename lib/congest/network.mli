@@ -20,7 +20,17 @@
     faults are then applied inside every executed round, with each
     fault event recorded in the schedule's trace. Congestion validation
     happens {e before} fault application — a protocol may not excuse an
-    oversized message by hoping the adversary drops it. *)
+    oversized message by hoping the adversary drops it.
+
+    When the ledger has a {!Dex_obs.Trace.t} attached
+    ({!Rounds.attach_trace}, before the network is created), every
+    executed round additionally emits a structured round tick (messages
+    delivered, words, max per-edge congestion, active vertices), edge
+    delivery counts accumulate into the trace's per-edge load histogram,
+    and fault events are bridged into the trace. Networks over induced
+    subgraphs carry a [vertex_map] so those metrics are reported in
+    original-graph coordinates. Without an attached trace the kernel
+    skips all of this — tracing off costs one pointer test per round. *)
 
 exception Congestion_violation of string
 
@@ -41,11 +51,21 @@ exception
 
 type t
 
-(** [create ?word_size ?faults graph rounds] wraps [graph]; [word_size]
-    (default 1) is the per-message word budget. When [faults] is given,
-    every executed round applies the schedule to deliveries and step
-    execution. *)
-val create : ?word_size:int -> ?faults:Faults.t -> Dex_graph.Graph.t -> Rounds.t -> t
+(** [create ?word_size ?faults ?vertex_map graph rounds] wraps [graph];
+    [word_size] (default 1) is the per-message word budget. When
+    [faults] is given, every executed round applies the schedule to
+    deliveries and step execution. [vertex_map] translates local vertex
+    ids to original-graph ids for trace reporting (it must have exactly
+    one entry per vertex); {!Primitives.subnetwork} threads it
+    automatically. The trace handle, if any, is read from the ledger at
+    creation time — attach it first. *)
+val create :
+  ?word_size:int ->
+  ?faults:Faults.t ->
+  ?vertex_map:int array ->
+  Dex_graph.Graph.t ->
+  Rounds.t ->
+  t
 
 (** [graph t] is the underlying communication graph. *)
 val graph : t -> Dex_graph.Graph.t
@@ -55,8 +75,25 @@ val graph : t -> Dex_graph.Graph.t
     duplicated ones count twice. *)
 val messages_sent : t -> int
 
+(** [words_sent t] is the cumulative number of machine words delivered,
+    fault-aware in the same way as {!messages_sent}: dropped messages
+    contribute nothing, duplicated ones contribute twice. *)
+val words_sent : t -> int
+
 (** [faults t] is the fault schedule, if any. *)
 val faults : t -> Faults.t option
+
+(** [vertex_map t] is the local-to-original vertex translation, if this
+    network simulates an induced subgraph of a larger instance. *)
+val vertex_map : t -> int array option
+
+(** [top_edges t k] is the [k] most-loaded edges (original-graph
+    coordinates, cumulative deliveries, descending) from the attached
+    trace's histogram; [[]] when no trace is attached. Note the
+    histogram belongs to the trace, so it aggregates across every
+    network sharing it — which is exactly what hot-edge reporting over
+    a recursive decomposition wants. *)
+val top_edges : t -> int -> ((int * int) * int) list
 
 (** A message is an int array of at most [word_size] words. *)
 type message = int array

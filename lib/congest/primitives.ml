@@ -97,4 +97,11 @@ let pipelined_broadcast net tree ~label ~words =
 let subnetwork net members =
   let g = Network.graph net in
   let sub, mapping = Graph.induced_subgraph g members in
-  (Network.create sub (Network.rounds net), mapping)
+  (* compose vertex maps so nested subnetworks still report trace
+     metrics (hot edges, fault events) in original-graph coordinates *)
+  let vertex_map =
+    match Network.vertex_map net with
+    | None -> mapping
+    | Some outer -> Array.map (fun v -> outer.(v)) mapping
+  in
+  (Network.create ~vertex_map sub (Network.rounds net), mapping)

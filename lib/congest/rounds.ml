@@ -1,12 +1,79 @@
-type t = { mutable total : int; phases : (string, int) Hashtbl.t }
+module Trace = Dex_obs.Trace
 
-let create () = { total = 0; phases = Hashtbl.create 16 }
+type node = {
+  name : string;
+  mutable self : int; (* rounds charged directly at this node *)
+  mutable wall_ns : int; (* simulator wall-clock spent while this span was innermost-opened *)
+  mutable sub : node list; (* reversed creation order *)
+}
+
+type t = {
+  mutable total : int;
+  phases : (string, int) Hashtbl.t;
+  root : node;
+  mutable stack : node list; (* innermost open span first *)
+  mutable trace : Trace.t option;
+}
+
+type tree = { span : string; rounds : int; self : int; wall_ns : int; children : tree list }
+
+let fresh_node name = { name; self = 0; wall_ns = 0; sub = [] }
+
+let create () =
+  { total = 0;
+    phases = Hashtbl.create 16;
+    root = fresh_node "total";
+    stack = [];
+    trace = None }
+
+let attach_trace t trace = t.trace <- trace
+let trace t = t.trace
+
+let current t = match t.stack with n :: _ -> n | [] -> t.root
+
+let child_named parent name =
+  match List.find_opt (fun n -> n.name = name) parent.sub with
+  | Some n -> n
+  | None ->
+    let n = fresh_node name in
+    parent.sub <- n :: parent.sub;
+    n
 
 let charge t ~label k =
   if k < 0 then invalid_arg "Rounds.charge: negative round count";
   t.total <- t.total + k;
   let prev = try Hashtbl.find t.phases label with Not_found -> 0 in
-  Hashtbl.replace t.phases label (prev + k)
+  Hashtbl.replace t.phases label (prev + k);
+  let leaf = child_named (current t) label in
+  leaf.self <- leaf.self + k
+
+let with_span t name f =
+  let node = child_named (current t) name in
+  t.stack <- node :: t.stack;
+  let before = t.total in
+  let id =
+    match t.trace with
+    | Some tr -> Trace.span_open tr ~name ~rounds_before:before
+    | None -> -1
+  in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let wall = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+      node.wall_ns <- node.wall_ns + wall;
+      (match t.stack with
+      | top :: rest when top == node -> t.stack <- rest
+      | stack ->
+        (* an exception may have skipped inner pops: unwind past [node] *)
+        let rec unwind = function
+          | top :: rest -> if top == node then rest else unwind rest
+          | [] -> []
+        in
+        t.stack <- unwind stack);
+      match t.trace with
+      | Some tr -> Trace.span_close tr ~id ~name ~rounds:(t.total - before) ~wall_ns:wall
+      | None -> ())
+    f
 
 let total t = t.total
 
@@ -16,9 +83,22 @@ let by_phase t =
   Hashtbl.fold (fun label k acc -> (label, k) :: acc) t.phases []
   |> List.sort (fun (la, a) (lb, b) -> if a <> b then compare b a else compare la lb)
 
-let merge ~into src =
-  Hashtbl.iter (fun label k -> charge into ~label k) src.phases
+let tree t =
+  let rec freeze node =
+    let children = List.rev_map freeze node.sub in
+    let rounds =
+      List.fold_left (fun acc (c : tree) -> acc + c.rounds) node.self children
+    in
+    { span = node.name; rounds; self = node.self; wall_ns = node.wall_ns; children }
+  in
+  freeze t.root
+
+let merge ~into src = Hashtbl.iter (fun label k -> charge into ~label k) src.phases
 
 let reset t =
   t.total <- 0;
-  Hashtbl.reset t.phases
+  Hashtbl.reset t.phases;
+  t.root.self <- 0;
+  t.root.wall_ns <- 0;
+  t.root.sub <- [];
+  t.stack <- []

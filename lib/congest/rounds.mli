@@ -1,4 +1,4 @@
-(** Round-cost ledger.
+(** Round-cost ledger with hierarchical spans.
 
     Every simulated CONGEST computation charges its rounds here, under
     a phase label, so that benchmark tables can report both the total
@@ -6,16 +6,49 @@
     expander decomposition spent in low-diameter decomposition versus
     sparse-cut computation). Executed message-passing protocols charge
     their actual round loop; accounted phases charge the measured cost
-    of the primitive they stand for (see DESIGN.md §2). *)
+    of the primitive they stand for (see DESIGN.md §2).
+
+    Two views of the same charges coexist:
+
+    - the {e flat} view ({!by_phase}): per-label totals, unchanged from
+      the original ledger — every existing caller keeps working;
+    - the {e tree} view ({!tree}): components may wrap work in
+      {!with_span}, and every charge is then attributed to a leaf named
+      by its label under the innermost open span, so the nested
+      Phase-1/Phase-2 structure of a decomposition becomes visible.
+      Leaf round totals always sum to {!total} by construction.
+
+    Spans also self-profile the simulator: each span accumulates the
+    wall-clock nanoseconds spent inside its body, and when a
+    {!Dex_obs.Trace.t} is attached ({!attach_trace}) each span
+    open/close is mirrored as a structured trace event. *)
 
 type t
 
-(** [create ()] is an empty ledger. *)
+(** [create ()] is an empty ledger with no trace attached. *)
 val create : unit -> t
 
-(** [charge t ~label k] adds [k] rounds under [label].
-    Raises [Invalid_argument] on negative [k]. *)
+(** [attach_trace t trace] mirrors span open/close events to [trace];
+    networks created over this ledger also emit per-round ticks there.
+    Attach before creating networks — {!Network.create} caches the
+    handle. [None] detaches. *)
+val attach_trace : t -> Dex_obs.Trace.t option -> unit
+
+(** [trace t] is the attached trace, if any. *)
+val trace : t -> Dex_obs.Trace.t option
+
+(** [charge t ~label k] adds [k] rounds under [label], both to the flat
+    per-label table and to the leaf [label] under the innermost open
+    span. Raises [Invalid_argument] on negative [k]. *)
 val charge : t -> label:string -> int -> unit
+
+(** [with_span t name f] runs [f ()] inside a span [name] nested under
+    the innermost open span. Re-entering the same name under the same
+    parent accumulates into one node (the tree stays compact and
+    deterministic). The span records the rounds charged and the
+    wall-clock spent during [f]; the span is closed even if [f]
+    raises. *)
+val with_span : t -> string -> (unit -> 'a) -> 'a
 
 (** [total t] is the number of rounds charged so far. *)
 val total : t -> int
@@ -24,8 +57,22 @@ val total : t -> int
     equal costs are ordered by label, so the listing is deterministic. *)
 val by_phase : t -> (string * int) list
 
-(** [merge ~into src] adds all of [src]'s charges into [into]. *)
+(** One node of the span tree: [rounds] = [self] + sum of children's
+    [rounds]; [self] is non-zero only on charge leaves (or on nodes
+    whose name was used both as a span and as a charge label);
+    [wall_ns] is the simulator wall-clock accumulated by {!with_span}.
+    Children appear in first-creation order. *)
+type tree = { span : string; rounds : int; self : int; wall_ns : int; children : tree list }
+
+(** [tree t] is the hierarchical view of every charge, rooted at a
+    synthetic ["total"] node with [rounds = total t]. *)
+val tree : t -> tree
+
+(** [merge ~into src] adds all of [src]'s flat charges into [into]
+    (under [into]'s currently open span; [src]'s span structure is not
+    copied). *)
 val merge : into:t -> t -> unit
 
-(** [reset t] zeroes the ledger. *)
+(** [reset t] zeroes the ledger, including the span tree. Open spans
+    are abandoned; the attached trace, if any, is kept. *)
 val reset : t -> unit

@@ -22,6 +22,9 @@ module Graph = Dex_graph.Graph
 module Metrics = Dex_graph.Metrics
 module Generators = Dex_graph.Generators
 module Graph_io = Dex_graph.Graph_io
+module Json = Dex_obs.Json
+module Trace = Dex_obs.Trace
+module Bench_snapshot = Dex_obs.Snapshot
 module Network = Dex_congest.Network
 module Rounds = Dex_congest.Rounds
 module Primitives = Dex_congest.Primitives
@@ -55,26 +58,29 @@ module Triangle_enum = Dex_triangle.Expander_enum
 module Triangle_baselines = Dex_triangle.Baselines
 module Triangle_dlp = Dex_triangle.Dlp
 
-(** [decompose ?preset ?epsilon ?k g ~seed] computes an (ε, φ)-expander
-    decomposition (Theorem 1). Defaults: ε = 1/6, k = 2. *)
-let decompose ?preset ?(epsilon = 1.0 /. 6.0) ?(k = 2) g ~seed =
-  Decomposition.run ?preset ~epsilon ~k g (Rng.create seed)
+(** [decompose ?preset ?ledger ?epsilon ?k g ~seed] computes an
+    (ε, φ)-expander decomposition (Theorem 1). Defaults: ε = 1/6,
+    k = 2. Pass a [ledger] (optionally with a {!Trace.t} attached via
+    {!Rounds.attach_trace}) to observe the run's span structure, round
+    charges and message traffic. *)
+let decompose ?preset ?ledger ?(epsilon = 1.0 /. 6.0) ?(k = 2) g ~seed =
+  Decomposition.run ?preset ?ledger ~epsilon ~k g (Rng.create seed)
 
-(** [sparse_cut ?preset ?phi g ~seed] runs the nearly most balanced
-    sparse cut (Theorem 3) at conductance parameter [phi]
+(** [sparse_cut ?preset ?ledger ?phi g ~seed] runs the nearly most
+    balanced sparse cut (Theorem 3) at conductance parameter [phi]
     (default 1/20). *)
-let sparse_cut ?preset ?(phi = 0.05) g ~seed =
+let sparse_cut ?preset ?ledger ?(phi = 0.05) g ~seed =
   let params =
     Dex_sparsecut.Params.make ?preset ~phi ~m:(max 1 (Graph.num_edges g)) ()
   in
-  Sparse_cut.run params g (Rng.create seed)
+  Sparse_cut.run ?ledger params g (Rng.create seed)
 
-(** [low_diameter_decomposition ?beta g ~seed] runs Theorem 4's LDD
-    (default β = 0.1). *)
-let low_diameter_decomposition ?(beta = 0.1) g ~seed =
-  Ldd.run_graph g ~beta (Rng.create seed)
+(** [low_diameter_decomposition ?ledger ?beta g ~seed] runs Theorem 4's
+    LDD (default β = 0.1). *)
+let low_diameter_decomposition ?ledger ?(beta = 0.1) g ~seed =
+  Ldd.run_graph ?ledger g ~beta (Rng.create seed)
 
-(** [enumerate_triangles ?epsilon ?k g ~seed] enumerates every
+(** [enumerate_triangles ?ledger ?epsilon ?k g ~seed] enumerates every
     triangle of [g] via expander decomposition (Theorem 2). *)
-let enumerate_triangles ?epsilon ?k g ~seed =
-  Triangle_enum.run ?epsilon ?k_decomp:k g (Rng.create seed)
+let enumerate_triangles ?ledger ?epsilon ?k g ~seed =
+  Triangle_enum.run ?ledger ?epsilon ?k_decomp:k g (Rng.create seed)

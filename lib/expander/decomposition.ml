@@ -2,6 +2,7 @@ module Graph = Dex_graph.Graph
 module Metrics = Dex_graph.Metrics
 module Params = Dex_sparsecut.Params
 module Partition = Dex_sparsecut.Partition
+module Rounds = Dex_congest.Rounds
 module Ldd = Dex_ldd.Ldd
 module Rng = Dex_util.Rng
 
@@ -10,6 +11,8 @@ type removal_ledger = { remove1 : int; remove2 : int; remove3 : int }
 type stats = {
   removals : removal_ledger;
   rounds : int;
+  messages : int;
+  words : int;
   phase1_depth : int;
   phase2_components : int;
   phase2_max_iterations : int;
@@ -33,16 +36,23 @@ type driver = {
   schedule : Schedule.t;
   preset : Params.preset;
   rng : Rng.t;
+  ledger : Rounds.t option; (* observability ledger, when the caller passed one *)
   mutable remove1 : int;
   mutable remove2 : int;
   mutable remove3 : int;
   mutable removed : (int * int) list;
   mutable rounds : int;
+  mutable messages : int;
+  mutable words : int;
   mutable partition_calls : int;
   mutable discarded : int;
   mutable phase2_components : int;
   mutable phase2_max_iterations : int;
 }
+
+(* runs [f] in a named ledger span when observability is on *)
+let in_span d name f =
+  match d.ledger with Some l -> Rounds.with_span l name f | None -> f ()
 
 let remove_edges_tracked d kind edges =
   let plain = List.filter (fun (u, v) -> u <> v) edges in
@@ -63,7 +73,7 @@ let sparse_cut_on d ~phi members =
   let gu, mapping = Graph.saturated_subgraph d.current members in
   let m = max 1 (Graph.num_edges gu) in
   let params = Schedule.params_for ~preset:d.preset ~phi ~m () in
-  let res = Partition.run params gu d.rng in
+  let res = Partition.run ?ledger:d.ledger params gu d.rng in
   d.partition_calls <- d.partition_calls + 1;
   let cut = res.Partition.cut in
   let rounds = res.Partition.rounds in
@@ -162,18 +172,21 @@ let phase2 d members =
   (!rounds, !iterations)
 
 (* ---- Phase 1 (level-synchronous recursion) ---- *)
-let run ?(preset = Params.Practical) ~epsilon ~k g rng =
+let run ?(preset = Params.Practical) ?ledger ~epsilon ~k g rng =
   let schedule = Schedule.make ~preset ~epsilon ~k g in
   let d =
     { current = g;
       schedule;
       preset;
       rng;
+      ledger;
       remove1 = 0;
       remove2 = 0;
       remove3 = 0;
       removed = [];
       rounds = 0;
+      messages = 0;
+      words = 0;
       partition_calls = 0;
       discarded = 0;
       phase2_components = 0;
@@ -184,68 +197,88 @@ let run ?(preset = Params.Practical) ~epsilon ~k g rng =
   (* initial active set: connected components of the input *)
   let active = ref (Metrics.connected_components g) in
   let depth = ref 0 in
-  while !active <> [] && !depth < schedule.Schedule.d do
-    incr depth;
-    depth_reached := !depth;
-    let next = ref [] in
-    let level_cost = ref 0 in
-    List.iter
-      (fun members ->
-        if Array.length members > 1 then begin
-          (* Step 1: low-diameter decomposition of G{U}; Remove-1 *)
-          let gu, mapping = Graph.saturated_subgraph d.current members in
-          let ldd = Ldd.run_graph gu ~beta:schedule.Schedule.beta d.rng in
-          let ldd_cut =
-            List.map
-              (fun (u, v) ->
-                let a = mapping.(u) and b = mapping.(v) in
-                (min a b, max a b))
-              ldd.Ldd.cut_edges
-          in
-          remove_edges_tracked d `Remove1 ldd_cut;
-          let clusters =
-            List.map (fun part -> Array.map (fun v -> mapping.(v)) part) ldd.Ldd.parts
-          in
-          (* Step 2: sparse cut per cluster; clusters run concurrently *)
-          let cluster_cost = ref 0 in
+  in_span d "decompose" (fun () ->
+      in_span d "phase1" (fun () ->
+          while !active <> [] && !depth < schedule.Schedule.d do
+            incr depth;
+            depth_reached := !depth;
+            let next = ref [] in
+            let level_cost = ref 0 in
+            in_span d (Printf.sprintf "level-%d" !depth) (fun () ->
+                List.iter
+                  (fun members ->
+                    if Array.length members > 1 then begin
+                      (* Step 1: low-diameter decomposition of G{U}; Remove-1 *)
+                      let gu, mapping = Graph.saturated_subgraph d.current members in
+                      let ldd =
+                        Ldd.run_graph ?ledger:d.ledger ~vertex_map:mapping gu
+                          ~beta:schedule.Schedule.beta d.rng
+                      in
+                      d.messages <- d.messages + ldd.Ldd.messages;
+                      d.words <- d.words + ldd.Ldd.words;
+                      let ldd_cut =
+                        List.map
+                          (fun (u, v) ->
+                            let a = mapping.(u) and b = mapping.(v) in
+                            (min a b, max a b))
+                          ldd.Ldd.cut_edges
+                      in
+                      remove_edges_tracked d `Remove1 ldd_cut;
+                      let clusters =
+                        List.map
+                          (fun part -> Array.map (fun v -> mapping.(v)) part)
+                          ldd.Ldd.parts
+                      in
+                      (* Step 2: sparse cut per cluster; clusters run concurrently *)
+                      let cluster_cost = ref 0 in
+                      List.iter
+                        (fun cluster ->
+                          if Array.length cluster > 1 then begin
+                            let verdict, cost =
+                              sparse_cut_on d ~phi:schedule.Schedule.phi.(0) cluster
+                            in
+                            cluster_cost := max !cluster_cost cost;
+                            match verdict with
+                            | `Empty -> () (* finished component *)
+                            | `Cut (cut, _) ->
+                              let vol_c = volume_of d cut in
+                              let vol_u = volume_of d cluster in
+                              if
+                                float_of_int (12 * vol_c)
+                                <= epsilon *. float_of_int vol_u
+                              then begin
+                                (* Step 2b: small cut — enter Phase 2, keep edges *)
+                                phase2_queue := cluster :: !phase2_queue
+                              end
+                              else begin
+                                (* Step 2c: remove the cut and recurse on both sides *)
+                                remove_edges_tracked d `Remove2 (cut_edges_between d cut);
+                                let rest = set_difference cluster cut in
+                                next := cut :: rest :: !next
+                              end
+                          end)
+                        clusters;
+                      level_cost := max !level_cost (ldd.Ldd.rounds + !cluster_cost)
+                    end)
+                  !active);
+            d.rounds <- d.rounds + !level_cost;
+            active := !next
+          done);
+      (* Phase 2: all queued components run concurrently *)
+      in_span d "phase2" (fun () ->
+          let phase2_cost = ref 0 in
           List.iter
-            (fun cluster ->
-              if Array.length cluster > 1 then begin
-                let verdict, cost = sparse_cut_on d ~phi:schedule.Schedule.phi.(0) cluster in
-                cluster_cost := max !cluster_cost cost;
-                match verdict with
-                | `Empty -> () (* finished component *)
-                | `Cut (cut, _) ->
-                  let vol_c = volume_of d cut in
-                  let vol_u = volume_of d cluster in
-                  if float_of_int (12 * vol_c) <= epsilon *. float_of_int vol_u then begin
-                    (* Step 2b: small cut — enter Phase 2, keep edges *)
-                    phase2_queue := cluster :: !phase2_queue
-                  end
-                  else begin
-                    (* Step 2c: remove the cut and recurse on both sides *)
-                    remove_edges_tracked d `Remove2 (cut_edges_between d cut);
-                    let rest = set_difference cluster cut in
-                    next := cut :: rest :: !next
-                  end
-              end)
-            clusters;
-          level_cost := max !level_cost (ldd.Ldd.rounds + !cluster_cost)
-        end)
-      !active;
-    d.rounds <- d.rounds + !level_cost;
-    active := !next
-  done;
-  (* Phase 2: all queued components run concurrently *)
-  let phase2_cost = ref 0 in
-  List.iter
-    (fun members ->
-      d.phase2_components <- d.phase2_components + 1;
-      let cost, iters = phase2 d members in
-      if iters > d.phase2_max_iterations then d.phase2_max_iterations <- iters;
-      if cost > !phase2_cost then phase2_cost := cost)
-    !phase2_queue;
-  d.rounds <- d.rounds + !phase2_cost;
+            (fun members ->
+              d.phase2_components <- d.phase2_components + 1;
+              let cost, iters =
+                in_span d
+                  (Printf.sprintf "component-%d" d.phase2_components)
+                  (fun () -> phase2 d members)
+              in
+              if iters > d.phase2_max_iterations then d.phase2_max_iterations <- iters;
+              if cost > !phase2_cost then phase2_cost := cost)
+            !phase2_queue;
+          d.rounds <- d.rounds + !phase2_cost));
   (* final parts = connected components of the remaining graph *)
   let parts = Metrics.connected_components d.current in
   let part_of = Array.make (Graph.num_vertices g) (-1) in
@@ -261,6 +294,8 @@ let run ?(preset = Params.Practical) ~epsilon ~k g rng =
     stats =
       { removals = { remove1 = d.remove1; remove2 = d.remove2; remove3 = d.remove3 };
         rounds = d.rounds;
+        messages = d.messages;
+        words = d.words;
         phase1_depth = !depth_reached;
         phase2_components = d.phase2_components;
         phase2_max_iterations = d.phase2_max_iterations;

@@ -26,6 +26,11 @@ type removal_ledger = {
 type stats = {
   removals : removal_ledger;
   rounds : int; (** simulated CONGEST rounds, parallel-depth accounted *)
+  messages : int;
+      (** messages delivered by the executed (message-level) protocols
+          inside the decomposition — i.e. the LDD clusterings; accounted
+          phases move no messages *)
+  words : int; (** machine words delivered, same scope as [messages] *)
   phase1_depth : int; (** recursion depth reached *)
   phase2_components : int; (** components that entered Phase 2 *)
   phase2_max_iterations : int;
@@ -43,9 +48,17 @@ type result = {
   stats : stats;
 }
 
-(** [run ?preset ~epsilon ~k g rng] decomposes [g]. *)
+(** [run ?preset ?ledger ~epsilon ~k g rng] decomposes [g]. When
+    [ledger] is given the run is structured into spans —
+    ["decompose"] containing ["phase1"] (with one ["level-<d>"] span
+    per recursion depth) and ["phase2"] (one ["component-<i>"] span
+    per trimmed component) — and every executed or accounted round is
+    charged there. Note the ledger then accumulates the {e sequential
+    sum} of all component costs, while [stats.rounds] remains the
+    parallel makespan (concurrent components counted at their max). *)
 val run :
   ?preset:Dex_sparsecut.Params.preset ->
+  ?ledger:Dex_congest.Rounds.t ->
   epsilon:float -> k:int ->
   Dex_graph.Graph.t -> Dex_util.Rng.t -> result
 

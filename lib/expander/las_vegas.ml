@@ -1,4 +1,6 @@
 module Rng = Dex_util.Rng
+module Rounds = Dex_congest.Rounds
+module Trace = Dex_obs.Trace
 
 type failure = {
   attempts : int;
@@ -17,19 +19,34 @@ type outcome = {
 let report_ok (r : Verify.report) =
   r.Verify.is_partition && r.Verify.epsilon_ok && r.Verify.phi_ok
 
-let decompose ?preset ?(attempts = 5) ~epsilon ~k g rng =
+let decompose ?preset ?ledger ?(attempts = 5) ~epsilon ~k g rng =
   if attempts < 1 then invalid_arg "Las_vegas.decompose: attempts must be >= 1";
+  let in_span name f =
+    match ledger with Some l -> Rounds.with_span l name f | None -> f ()
+  in
+  let retry certified i =
+    match ledger with
+    | Some l ->
+      (match Rounds.trace l with
+      | Some tr -> Trace.retry tr ~label:"decompose" ~attempt:i ~certified
+      | None -> ())
+    | None -> ()
+  in
   let total_rounds = ref 0 in
   let rec go i =
     (* fresh randomness per attempt: split both the algorithm's stream
        and the verifier's, so a failed attempt never replays *)
     let attempt_rng = Rng.split rng i in
     let verify_rng = Rng.split rng (attempts + i) in
-    let result = Decomposition.run ?preset ~epsilon ~k g attempt_rng in
+    let result =
+      in_span (Printf.sprintf "attempt-%d" i) @@ fun () ->
+      Decomposition.run ?preset ?ledger ~epsilon ~k g attempt_rng
+    in
     total_rounds := !total_rounds + result.Decomposition.stats.Decomposition.rounds;
     let report = Verify.check g result verify_rng in
-    if report_ok report then
-      Ok { result; report; attempts = i; total_rounds = !total_rounds }
+    let ok = report_ok report in
+    retry ok i;
+    if ok then Ok { result; report; attempts = i; total_rounds = !total_rounds }
     else if i >= attempts then
       Error
         { attempts = i;
@@ -38,4 +55,4 @@ let decompose ?preset ?(attempts = 5) ~epsilon ~k g rng =
           total_rounds = !total_rounds }
     else go (i + 1)
   in
-  go 1
+  in_span "las-vegas" (fun () -> go 1)

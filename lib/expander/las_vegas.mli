@@ -34,12 +34,17 @@ type outcome = {
     partition within the ε budget whose parts all meet the φ target. *)
 val report_ok : Verify.report -> bool
 
-(** [decompose ?preset ?attempts ~epsilon ~k g rng] runs
+(** [decompose ?preset ?ledger ?attempts ~epsilon ~k g rng] runs
     {!Decomposition.run} up to [attempts] times (default 5), each with
     an independent stream split off [rng], verifying each result with
-    {!Verify.check}. Raises [Invalid_argument] when [attempts < 1]. *)
+    {!Verify.check}. With a [ledger], the whole run sits in a
+    ["las-vegas"] span, each attempt in an ["attempt-<i>"] span, and
+    (when a trace is attached) each verification verdict is emitted as
+    a retry event labeled ["decompose"]. Raises [Invalid_argument]
+    when [attempts < 1]. *)
 val decompose :
   ?preset:Dex_sparsecut.Params.preset ->
+  ?ledger:Dex_congest.Rounds.t ->
   ?attempts:int ->
   epsilon:float ->
   k:int ->

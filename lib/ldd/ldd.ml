@@ -7,12 +7,17 @@ type t = {
   parts : int array list;
   cut_edges : (int * int) list;
   rounds : int;
+  messages : int;
+  words : int;
   beta : float;
 }
 
 let run ?ka ?kb net ~beta rng =
   let g = Network.graph net in
-  let before = Rounds.total (Network.rounds net) in
+  let ledger = Network.rounds net in
+  let before = Rounds.total ledger in
+  let msgs_before = Network.messages_sent net in
+  let words_before = Network.words_sent net in
   let refine = Refine.run ?ka ?kb g ~beta in
   Network.charge net ~label:"ldd-refine" refine.Refine.rounds;
   let clustering = Clustering.run net ~beta rng in
@@ -26,12 +31,17 @@ let run ?ka ?kb net ~beta rng =
       then cut := (u, v) :: !cut);
   let remaining = Graph.remove_edges g !cut in
   let parts = Metrics.connected_components remaining in
-  let after = Rounds.total (Network.rounds net) in
-  { parts; cut_edges = !cut; rounds = after - before; beta }
+  let after = Rounds.total ledger in
+  { parts;
+    cut_edges = !cut;
+    rounds = after - before;
+    messages = Network.messages_sent net - msgs_before;
+    words = Network.words_sent net - words_before;
+    beta }
 
-let run_graph ?ka ?kb g ~beta rng =
-  let ledger = Rounds.create () in
-  let net = Network.create g ledger in
+let run_graph ?ka ?kb ?ledger ?vertex_map g ~beta rng =
+  let ledger = match ledger with Some l -> l | None -> Rounds.create () in
+  let net = Network.create ?vertex_map g ledger in
   run ?ka ?kb net ~beta rng
 
 let max_part_diameter g t =

@@ -15,6 +15,8 @@ type t = {
   parts : int array list; (** the partition, each part sorted *)
   cut_edges : (int * int) list; (** removed edges, normalized u ≤ v *)
   rounds : int; (** total CONGEST rounds *)
+  messages : int; (** messages delivered by the executed clustering *)
+  words : int; (** machine words delivered by the executed clustering *)
   beta : float;
 }
 
@@ -27,10 +29,15 @@ val run :
   ?ka:float -> ?kb:float ->
   Dex_congest.Network.t -> beta:float -> Dex_util.Rng.t -> t
 
-(** [run_graph ?ka ?kb g ~beta rng] is [run] on a fresh single-use
-    network with its own ledger. *)
+(** [run_graph ?ka ?kb ?ledger ?vertex_map g ~beta rng] is [run] on a
+    fresh single-use network. Charges go to [ledger] when given (so a
+    caller's span structure and attached trace see this run), to a
+    private throwaway ledger otherwise. [vertex_map] translates [g]'s
+    vertex ids to original-graph ids for trace reporting — pass the
+    mapping from the induced subgraph when decomposing a component. *)
 val run_graph :
   ?ka:float -> ?kb:float ->
+  ?ledger:Dex_congest.Rounds.t -> ?vertex_map:int array ->
   Dex_graph.Graph.t -> beta:float -> Dex_util.Rng.t -> t
 
 (** [max_part_diameter g t] is the largest part diameter. *)

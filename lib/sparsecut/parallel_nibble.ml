@@ -26,7 +26,7 @@ let random_nibble params g rng =
   let b = sample_scale params rng in
   Nibble.approximate params g ~src ~b
 
-let run ?k params g rng =
+let run ?k ?ledger params g rng =
   let total_volume = Graph.total_volume g in
   if total_volume = 0 then
     { cut = [||]; rounds = 0; copies = 0; aborted = false; max_overlap = 0; nibbles = [] }
@@ -69,7 +69,15 @@ let run ?k params g rng =
     let ceil_log2 x = int_of_float (Float.ceil (log (Float.max 2.0 x) /. log 2.0)) in
     let gen_rounds = depth_proxy + ceil_log2 (float_of_int (max 2 k)) in
     let select_rounds = depth_proxy * ceil_log2 (float_of_int (max 2 k)) in
-    let rounds = gen_rounds + (congestion * max_copy_rounds) + select_rounds in
+    let exec_rounds = congestion * max_copy_rounds in
+    let rounds = gen_rounds + exec_rounds + select_rounds in
+    (match ledger with
+    | Some l ->
+      let module Rounds = Dex_congest.Rounds in
+      Rounds.charge l ~label:"nibble-generate" gen_rounds;
+      Rounds.charge l ~label:"nibble-execute" exec_rounds;
+      Rounds.charge l ~label:"nibble-select" select_rounds
+    | None -> ());
     if aborted then
       { cut = [||]; rounds; copies = k; aborted; max_overlap = !max_overlap; nibbles = outcomes }
     else begin

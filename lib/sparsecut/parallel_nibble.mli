@@ -23,6 +23,11 @@ type t = {
 (** [random_nibble params g rng] is one RandomNibble run. *)
 val random_nibble : Params.t -> Dex_graph.Graph.t -> Dex_util.Rng.t -> Nibble.outcome
 
-(** [run ?k params g rng] is ParallelNibble(G, φ); [k] overrides the
-    number of copies (tests use this to force overlap). *)
-val run : ?k:int -> Params.t -> Dex_graph.Graph.t -> Dex_util.Rng.t -> t
+(** [run ?k ?ledger params g rng] is ParallelNibble(G, φ); [k]
+    overrides the number of copies (tests use this to force overlap).
+    When [ledger] is given the accounted cost is also charged there,
+    split into its Lemma 10 components under the labels
+    ["nibble-generate"], ["nibble-execute"] and ["nibble-select"]. *)
+val run :
+  ?k:int -> ?ledger:Dex_congest.Rounds.t ->
+  Params.t -> Dex_graph.Graph.t -> Dex_util.Rng.t -> t

@@ -1,5 +1,7 @@
 module Graph = Dex_graph.Graph
 module Metrics = Dex_graph.Metrics
+module Rounds = Dex_congest.Rounds
+module Trace = Dex_obs.Trace
 
 type t = {
   cut : int array;
@@ -10,7 +12,11 @@ type t = {
   aborted_copies : int;
 }
 
-let run ?p params g rng =
+(* runs [f] inside a ledger span when a ledger is present *)
+let in_span ledger name f =
+  match ledger with Some l -> Rounds.with_span l name f | None -> f ()
+
+let run ?p ?ledger params g rng =
   let n = Graph.num_vertices g in
   let total_volume = Graph.total_volume g in
   let p =
@@ -25,7 +31,8 @@ let run ?p params g rng =
       rounds = 0;
       iterations = 0;
       aborted_copies = 0 }
-  else begin
+  else
+    in_span ledger "partition" @@ fun () ->
     let s = Params.partition_iterations params ~volume:total_volume ~p in
     let threshold = 47 * total_volume / 48 in
     let in_w = Array.make n true in
@@ -42,7 +49,7 @@ let run ?p params g rng =
       if Array.length w = 0 then continue := false
       else begin
         let gw, mapping = Graph.saturated_subgraph g w in
-        let pn = Parallel_nibble.run params gw rng in
+        let pn = Parallel_nibble.run ?ledger params gw rng in
         rounds := !rounds + pn.Parallel_nibble.rounds;
         if pn.Parallel_nibble.aborted then incr aborted;
         let cut = pn.Parallel_nibble.cut in
@@ -91,7 +98,6 @@ let run ?p params g rng =
       rounds = !rounds;
       iterations = !iterations;
       aborted_copies = !aborted }
-  end
 
 let certified_no_sparse_cut t = Array.length t.cut = 0
 
@@ -100,18 +106,31 @@ type attempt_outcome = { value : t; attempts : int; rounds_total : int }
 let acceptable ~bound t =
   certified_no_sparse_cut t || t.conductance <= bound
 
-let run_verified ?(attempts = 3) ?p ~bound params g rng =
+let run_verified ?(attempts = 3) ?p ?ledger ~bound params g rng =
   if attempts < 1 then invalid_arg "Partition.run_verified: attempts must be >= 1";
   let module Rng = Dex_util.Rng in
+  let retry certified i =
+    match ledger with
+    | Some l ->
+      (match Rounds.trace l with
+      | Some tr -> Trace.retry tr ~label:"sparse-cut" ~attempt:i ~certified
+      | None -> ())
+    | None -> ()
+  in
   let rounds_total = ref 0 in
   let best = ref None in
   let rec go i =
-    let r = run ?p params g (Rng.split rng i) in
+    let r =
+      in_span ledger (Printf.sprintf "attempt-%d" i) @@ fun () ->
+      run ?p ?ledger params g (Rng.split rng i)
+    in
     rounds_total := !rounds_total + r.rounds;
     (match !best with
     | Some b when b.conductance <= r.conductance -> ()
     | _ -> best := Some r);
-    if acceptable ~bound r then Ok { value = r; attempts = i; rounds_total = !rounds_total }
+    let ok = acceptable ~bound r in
+    retry ok i;
+    if ok then Ok { value = r; attempts = i; rounds_total = !rounds_total }
     else if i >= attempts then
       let b = match !best with Some b -> b | None -> r in
       Error { value = b; attempts = i; rounds_total = !rounds_total }

@@ -23,9 +23,14 @@ type t = {
   aborted_copies : int; (** ParallelNibble calls that hit the w-cap *)
 }
 
-(** [run ?p params g rng] executes Partition(G, φ, p); [p] is the
-    failure probability driving the iteration count (default 1/n²). *)
-val run : ?p:float -> Params.t -> Dex_graph.Graph.t -> Dex_util.Rng.t -> t
+(** [run ?p ?ledger params g rng] executes Partition(G, φ, p); [p] is
+    the failure probability driving the iteration count (default 1/n²).
+    When [ledger] is given the body runs inside a ["partition"] span
+    and the accounted ParallelNibble costs are charged to it (labels
+    ["nibble-generate"/"nibble-execute"/"nibble-select"]). *)
+val run :
+  ?p:float -> ?ledger:Dex_congest.Rounds.t ->
+  Params.t -> Dex_graph.Graph.t -> Dex_util.Rng.t -> t
 
 (** [certified_no_sparse_cut t] is [true] when Partition returned ∅ —
     the caller treats the graph as a φ-expander (Theorem 3, case 2). *)
@@ -41,14 +46,18 @@ type attempt_outcome = { value : t; attempts : int; rounds_total : int }
     measured conductance meets [bound] (the caller's h(φ)). *)
 val acceptable : bound:float -> t -> bool
 
-(** [run_verified ?attempts ?p ~bound params g rng] re-runs Partition
-    with fresh randomness (streams split off [rng]) until
+(** [run_verified ?attempts ?p ?ledger ~bound params g rng] re-runs
+    Partition with fresh randomness (streams split off [rng]) until
     {!acceptable} holds, up to [attempts] times (default 3). [Error]
     carries the best attempt seen — typed failure reporting, never an
-    exception. Raises [Invalid_argument] when [attempts < 1]. *)
+    exception. With a [ledger], each attempt runs in an
+    ["attempt-<i>"] span and, when a trace is attached, emits a retry
+    event labeled ["sparse-cut"]. Raises [Invalid_argument] when
+    [attempts < 1]. *)
 val run_verified :
   ?attempts:int ->
   ?p:float ->
+  ?ledger:Dex_congest.Rounds.t ->
   bound:float ->
   Params.t ->
   Dex_graph.Graph.t ->

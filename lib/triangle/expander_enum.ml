@@ -1,6 +1,8 @@
 module Graph = Dex_graph.Graph
 module Decomposition = Dex_decomp.Decomposition
 module Hierarchy = Dex_routing.Hierarchy
+module Rounds = Dex_congest.Rounds
+module Trace = Dex_obs.Trace
 module Rng = Dex_util.Rng
 
 type level_report = {
@@ -19,6 +21,8 @@ type result = {
   levels : level_report list;
   total_rounds : int;
   enumeration_rounds : int;
+  messages : int;
+  words : int;
   complete : bool;
 }
 
@@ -26,24 +30,36 @@ let instances_for ~n ~incident ~volume =
   let groups = max 1 (int_of_float (Float.ceil (float_of_int n ** (1.0 /. 3.0)))) in
   max 1 (int_of_float (Float.ceil (3.0 *. float_of_int groups *. float_of_int incident /. float_of_int (max 1 volume))))
 
-let run ?preset ?(epsilon = 1.0 /. 6.0) ?(k_decomp = 2) ?k_routing g rng =
+let run ?preset ?ledger ?(epsilon = 1.0 /. 6.0) ?(k_decomp = 2) ?k_routing g rng =
+  let in_span name f =
+    match ledger with Some l -> Rounds.with_span l name f | None -> f ()
+  in
+  let charge label k =
+    match ledger with Some l -> Rounds.charge l ~label k | None -> ()
+  in
   let n = Graph.num_vertices g in
   let ground_truth = Exact.enumerate g in
   let detected = Hashtbl.create (2 * List.length ground_truth + 16) in
   let levels = ref [] in
   let total_rounds = ref 0 in
   let enumeration_rounds = ref 0 in
+  let messages = ref 0 in
+  let words = ref 0 in
   let current = ref g in
   let level = ref 0 in
   let max_levels =
     2 * max 1 (int_of_float (Float.ceil (log (Float.max 2.0 (float_of_int (Graph.num_edges g))) /. log 2.0)))
   in
   let continue = ref (Graph.num_plain_edges g > 0) in
+  in_span "triangles" @@ fun () ->
   while !continue && !level < max_levels do
     incr level;
+    in_span (Printf.sprintf "level-%d" !level) @@ fun () ->
     let gcur = !current in
-    let decomp = Decomposition.run ?preset ~epsilon ~k:k_decomp gcur rng in
+    let decomp = Decomposition.run ?preset ?ledger ~epsilon ~k:k_decomp gcur rng in
     total_rounds := !total_rounds + decomp.Decomposition.stats.Decomposition.rounds;
+    messages := !messages + decomp.Decomposition.stats.Decomposition.messages;
+    words := !words + decomp.Decomposition.stats.Decomposition.words;
     let part_of = decomp.Decomposition.part_of in
     (* triangles of the current graph with ≥1 intra-component edge are
        detected at this level: the component owning that edge learns
@@ -85,6 +101,8 @@ let run ?preset ?(epsilon = 1.0 /. 6.0) ?(k_decomp = 2) ?k_routing g rng =
       decomp.Decomposition.parts;
     total_rounds := !total_rounds + !max_pre + !max_query;
     enumeration_rounds := !enumeration_rounds + !max_pre + !max_query;
+    charge "routing-preprocess" !max_pre;
+    charge "routing-query" !max_query;
     levels :=
       { level = !level;
         edges = Graph.num_plain_edges gcur;
@@ -110,6 +128,7 @@ let run ?preset ?(epsilon = 1.0 /. 6.0) ?(k_decomp = 2) ?k_routing g rng =
       let cost = Baselines.trivial_rounds next in
       total_rounds := !total_rounds + cost;
       enumeration_rounds := !enumeration_rounds + cost;
+      charge "residual-trivial" cost;
       continue := false
     end
     else current := next
@@ -121,16 +140,27 @@ let run ?preset ?(epsilon = 1.0 /. 6.0) ?(k_decomp = 2) ?k_routing g rng =
     levels = List.rev !levels;
     total_rounds = !total_rounds;
     enumeration_rounds = !enumeration_rounds;
+    messages = !messages;
+    words = !words;
     complete = triangles = ground_truth }
 
 type attempt_outcome = { value : result; attempts : int; rounds_total : int }
 
-let run_verified ?preset ?epsilon ?k_decomp ?k_routing ?(attempts = 3) g rng =
+let run_verified ?preset ?ledger ?epsilon ?k_decomp ?k_routing ?(attempts = 3) g rng =
   if attempts < 1 then invalid_arg "Expander_enum.run_verified: attempts must be >= 1";
+  let retry certified i =
+    match ledger with
+    | Some l ->
+      (match Rounds.trace l with
+      | Some tr -> Trace.retry tr ~label:"triangles" ~attempt:i ~certified
+      | None -> ())
+    | None -> ()
+  in
   let rounds_total = ref 0 in
   let rec go i =
-    let r = run ?preset ?epsilon ?k_decomp ?k_routing g (Rng.split rng i) in
+    let r = run ?preset ?ledger ?epsilon ?k_decomp ?k_routing g (Rng.split rng i) in
     rounds_total := !rounds_total + r.total_rounds;
+    retry r.complete i;
     if r.complete then Ok { value = r; attempts = i; rounds_total = !rounds_total }
     else if i >= attempts then
       Error { value = r; attempts = i; rounds_total = !rounds_total }

@@ -41,14 +41,24 @@ type result = {
       the Õ(n^{1/3}) headline (the decomposition is o(n^{1/3}) only
       asymptotically; at simulation sizes its polylog constants
       dominate — see EXPERIMENTS.md) *)
+  messages : int;
+      (** messages delivered by the executed protocols across all
+          levels (the LDD clusterings inside each decomposition) *)
+  words : int; (** machine words delivered, same scope as [messages] *)
   complete : bool; (** detected set equals ground truth *)
 }
 
-(** [run ?preset ?epsilon ?k_decomp ?k_routing g rng] enumerates all
-    triangles of [g]. Defaults: ε = 1/6, k_decomp = 2, routing k
-    chosen by {!Dex_routing.Hierarchy.best_k_for} per component. *)
+(** [run ?preset ?ledger ?epsilon ?k_decomp ?k_routing g rng]
+    enumerates all triangles of [g]. Defaults: ε = 1/6, k_decomp = 2,
+    routing k chosen by {!Dex_routing.Hierarchy.best_k_for} per
+    component. With a [ledger], the run sits in a ["triangles"] span
+    with one ["level-<i>"] span per recursion level (each containing
+    its decomposition's spans) and the accounted routing costs are
+    charged under ["routing-preprocess"]/["routing-query"] (and
+    ["residual-trivial"] for the fallback exchange). *)
 val run :
   ?preset:Dex_sparsecut.Params.preset ->
+  ?ledger:Dex_congest.Rounds.t ->
   ?epsilon:float -> ?k_decomp:int -> ?k_routing:int ->
   Dex_graph.Graph.t -> Dex_util.Rng.t -> result
 
@@ -61,14 +71,17 @@ val instances_for : n:int -> incident:int -> volume:int -> int
     rounds summed across all of them. *)
 type attempt_outcome = { value : result; attempts : int; rounds_total : int }
 
-(** [run_verified ?preset ?epsilon ?k_decomp ?k_routing ?attempts g rng]
-    is the Las Vegas wrapper around {!run}: each attempt's detected set
-    is checked against the exact ground truth ([complete]) and the
-    enumeration re-runs with fresh randomness on a miss, up to
-    [attempts] times (default 3). [Error] carries the last attempt —
-    typed failure, no exception. *)
+(** [run_verified ?preset ?ledger ?epsilon ?k_decomp ?k_routing
+    ?attempts g rng] is the Las Vegas wrapper around {!run}: each
+    attempt's detected set is checked against the exact ground truth
+    ([complete]) and the enumeration re-runs with fresh randomness on
+    a miss, up to [attempts] times (default 3). [Error] carries the
+    last attempt — typed failure, no exception. With a [ledger]
+    carrying a trace, each verdict emits a retry event labeled
+    ["triangles"]. *)
 val run_verified :
   ?preset:Dex_sparsecut.Params.preset ->
+  ?ledger:Dex_congest.Rounds.t ->
   ?epsilon:float -> ?k_decomp:int -> ?k_routing:int ->
   ?attempts:int ->
   Dex_graph.Graph.t -> Dex_util.Rng.t ->
