@@ -374,6 +374,78 @@ let trace_cmd =
       const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
       $ degree_t $ epsilon_t $ k_t $ phi_t $ algo_t $ top_t $ jsonl_t)
 
+let conformance_cmd =
+  let word_size_t =
+    Arg.(value & opt int 1 & info [ "word-size" ] ~docv:"W" ~doc:"Per-message word budget.")
+  in
+  let demo_race_t =
+    Arg.(
+      value & flag
+      & info [ "demo-race" ]
+          ~doc:
+            "Additionally run a deliberately delivery-order-dependent protocol and show \
+             that the detector flags it (the command still exits 0 if the clean \
+             protocols pass).")
+  in
+  let run family file n seed p parts p_in p_out degree word_size demo_race =
+    let g = graph_of family file n seed p parts p_in p_out degree in
+    describe g;
+    let report label r =
+      Printf.printf
+        "%-8s rounds=%d/%d messages=%d/%d (canonical/permuted): %s\n" label
+        r.X.Conformance.rounds_canonical r.X.Conformance.rounds_permuted
+        r.X.Conformance.messages_canonical r.X.Conformance.messages_permuted
+        (if X.Conformance.ok r then "conformant" else "VIOLATIONS");
+      List.iter
+        (fun v -> Printf.printf "  %s\n" (X.Conformance.describe v))
+        r.X.Conformance.violations;
+      X.Conformance.ok r
+    in
+    let bfs_ok =
+      report "bfs"
+        (X.Conformance.check ~word_size ~seed g ~protocol:(X.Conformance.bfs ~root:0 g) ())
+    in
+    let leader_ok =
+      report "leader"
+        (X.Conformance.check ~word_size ~seed g ~protocol:(X.Conformance.leader g) ())
+    in
+    if demo_race then begin
+      (* adopt the first inbox message's sender: delivery-order
+         dependent, so the detector must flag it *)
+      let racy () =
+        let init _ = (-1, false) in
+        let step ~round:_ ~vertex:v (got, sent) inbox =
+          let got =
+            match inbox with (sender, _) :: _ when got < 0 -> sender | _ -> got
+          in
+          if sent then ((got, sent), [])
+          else begin
+            let outbox = ref [] in
+            X.Graph.iter_neighbors g v (fun u -> outbox := (u, [| v |]) :: !outbox);
+            ((got, true), !outbox)
+          end
+        in
+        let finished states = Array.for_all (fun (got, sent) -> sent && got >= 0) states in
+        { X.Conformance.init; step; finished }
+      in
+      let r = X.Conformance.check ~seed g ~protocol:racy () in
+      Printf.printf "demo-race: detector %s\n"
+        (if X.Conformance.ok r then "MISSED the race" else "caught the race, as expected");
+      List.iter
+        (fun v -> Printf.printf "  %s\n" (X.Conformance.describe v))
+        r.X.Conformance.violations
+    end;
+    if not (bfs_ok && leader_ok) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:
+         "Replay reference protocols under permuted activation/delivery schedules and \
+          audit the CONGEST kernel invariants (schedule-permutation race detector).")
+    Term.(
+      const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
+      $ degree_t $ word_size_t $ demo_race_t)
+
 let () =
   let doc = "Distributed expander decomposition and triangle enumeration (PODC 2019)" in
   let info = Cmd.info "dexpander" ~version:"1.0.0" ~doc in
@@ -381,4 +453,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; decompose_cmd; sparse_cut_cmd; ldd_cmd; triangles_cmd;
-            faults_cmd; trace_cmd ]))
+            faults_cmd; trace_cmd; conformance_cmd ]))

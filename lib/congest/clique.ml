@@ -1,3 +1,5 @@
+module Invariant = Dex_util.Invariant
+
 exception Congestion_violation of string
 
 type message = int array
@@ -12,8 +14,8 @@ type t = {
 type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (int * message) list
 
 let create ?(word_size = 1) ~n ledger =
-  if n < 1 then invalid_arg "Clique.create: n >= 1";
-  if word_size < 1 then invalid_arg "Clique.create: word_size >= 1";
+  Invariant.require (n >= 1) ~where:"Clique.create" "n >= 1";
+  Invariant.require (word_size >= 1) ~where:"Clique.create" "word_size >= 1";
   { size = n; ledger; word_size; messages = 0 }
 
 let n t = t.size

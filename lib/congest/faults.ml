@@ -31,7 +31,7 @@ type t = {
 
 let check_prob name p =
   if p < 0.0 || p > 1.0 || Float.is_nan p then
-    invalid_arg (Printf.sprintf "Faults.create: %s must be in [0, 1]" name)
+    Dex_util.Invariant.failf ~where:"Faults.create" "%s must be in [0, 1]" name
 
 let create spec =
   check_prob "drop" spec.drop;

@@ -47,7 +47,7 @@ val lossy : ?duplicate:float -> ?seed:int -> drop:float -> unit -> spec
 type t
 
 (** [create spec] instantiates a schedule with an empty trace.
-    Raises [Invalid_argument] if a probability is outside [0, 1]. *)
+    Raises [Dex_util.Invariant.Violation] if a probability is outside [0, 1]. *)
 val create : spec -> t
 
 (** [spec t] is the schedule [t] was created from. *)

@@ -1,5 +1,6 @@
 module Graph = Dex_graph.Graph
 module Trace = Dex_obs.Trace
+module Invariant = Dex_util.Invariant
 
 exception Congestion_violation of string
 
@@ -29,10 +30,10 @@ type t = {
 type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (int * message) list
 
 let create ?(word_size = 1) ?faults ?vertex_map graph ledger =
-  if word_size < 1 then invalid_arg "Network.create: word_size must be >= 1";
+  Invariant.require (word_size >= 1) ~where:"Network.create" "word_size must be >= 1";
   (match vertex_map with
   | Some map when Array.length map <> Graph.num_vertices graph ->
-    invalid_arg "Network.create: vertex_map length must equal the vertex count"
+    Invariant.fail ~where:"Network.create" "vertex_map length must equal the vertex count"
   | _ -> ());
   let trace = Rounds.trace ledger in
   let map v = match vertex_map with Some m -> m.(v) | None -> v in
@@ -146,7 +147,7 @@ let exec_round t ~round states inboxes step =
   | Some { tr; loads; touched } ->
     let map v = match t.vertex_map with Some m -> m.(v) | None -> v in
     let max_load = ref 0 in
-    Hashtbl.iter
+    Dex_util.Table.iter_sorted
       (fun (u, v) c ->
         if c > !max_load then max_load := c;
         Trace.count_edge tr (map u) (map v) ~by:c)

@@ -1,4 +1,5 @@
 module Graph = Dex_graph.Graph
+module Invariant = Dex_util.Invariant
 
 type tree = {
   root : int;
@@ -13,7 +14,7 @@ type bfs_state = { dist : int; par : int; pending : bool }
 let bfs_tree net ~root =
   let g = Network.graph net in
   let n = Graph.num_vertices g in
-  if root < 0 || root >= n then invalid_arg "Primitives.bfs_tree: root out of range";
+  Invariant.require (root >= 0 && root < n) ~where:"Primitives.bfs_tree" "root out of range";
   let init v =
     if v = root then { dist = 0; par = root; pending = true }
     else { dist = max_int; par = -1; pending = false }
@@ -91,7 +92,7 @@ let convergecast_min net tree ~label values =
   Array.fold_left (fun acc v -> min acc values.(v)) max_int tree.members
 
 let pipelined_broadcast net tree ~label ~words =
-  if words < 0 then invalid_arg "Primitives.pipelined_broadcast: negative words";
+  Invariant.require (words >= 0) ~where:"Primitives.pipelined_broadcast" "negative words";
   Network.charge net ~label (tree.height + words)
 
 let subnetwork net members =

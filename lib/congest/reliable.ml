@@ -1,4 +1,5 @@
 module Graph = Dex_graph.Graph
+module Invariant = Dex_util.Invariant
 
 type config = { max_retries : int; give_up : bool }
 
@@ -22,7 +23,7 @@ let value_limit = 1 lsl value_bits
 let pack = function
   | None -> 0
   | Some v ->
-    if v < 0 || v >= value_limit then invalid_arg "Reliable: value out of range";
+    Invariant.require (v >= 0 && v < value_limit) ~where:"Reliable" "value out of range";
     (v lsl 1) lor 1
 
 let unpack f = if f land 1 = 1 then Some (f lsr 1) else None
@@ -48,7 +49,8 @@ type vstate = { mutable value : int; mutable parent : int; peers : peer array }
 
 let peer_of st sender =
   let rec go i =
-    if i >= Array.length st.peers then invalid_arg "Reliable: message from non-peer"
+    if i >= Array.length st.peers then
+      Invariant.fail ~where:"Reliable" "message from non-peer"
     else if st.peers.(i).nbr = sender then st.peers.(i)
     else go (i + 1)
   in
@@ -59,7 +61,7 @@ let peer_of st sender =
    delivery of the new value to every neighbor. Quiescence = every
    live vertex has no outstanding value and no pending ack. *)
 let flood net ~label ~config ~delta ~init_value ~init_parent ~announce ?max_rounds () =
-  if config.max_retries < 1 then invalid_arg "Reliable: max_retries must be >= 1";
+  Invariant.require (config.max_retries >= 1) ~where:"Reliable" "max_retries must be >= 1";
   let g = Network.graph net in
   let failure = ref None in
   let cur_round = ref 0 in
@@ -156,7 +158,7 @@ let flood net ~label ~config ~delta ~init_value ~init_parent ~announce ?max_roun
 let bfs_tree ?(config = default_config) ?max_rounds net ~root =
   let g = Network.graph net in
   let n = Graph.num_vertices g in
-  if root < 0 || root >= n then invalid_arg "Reliable.bfs_tree: root out of range";
+  Invariant.require (root >= 0 && root < n) ~where:"Reliable.bfs_tree" "root out of range";
   let states, _rounds =
     flood net ~label:"bfs-reliable" ~config ~delta:1
       ~init_value:(fun v -> if v = root then 0 else infinity_value)

@@ -40,7 +40,7 @@ let child_named parent name =
     n
 
 let charge t ~label k =
-  if k < 0 then invalid_arg "Rounds.charge: negative round count";
+  Dex_util.Invariant.require (k >= 0) ~where:"Rounds.charge" "negative round count";
   t.total <- t.total + k;
   let prev = try Hashtbl.find t.phases label with Not_found -> 0 in
   Hashtbl.replace t.phases label (prev + k);
@@ -56,10 +56,10 @@ let with_span t name f =
     | Some tr -> Trace.span_open tr ~name ~rounds_before:before
     | None -> -1
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Dex_obs.Clock.now_ns () in
   Fun.protect
     ~finally:(fun () ->
-      let wall = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+      let wall = Dex_obs.Clock.now_ns () - t0 in
       node.wall_ns <- node.wall_ns + wall;
       (match t.stack with
       | top :: rest when top == node -> t.stack <- rest
@@ -78,9 +78,9 @@ let with_span t name f =
 let total t = t.total
 
 let by_phase t =
-  (* descending by cost, ties broken on label: Hashtbl.fold order is
-     unspecified, and bench tables must be stable across runs *)
-  Hashtbl.fold (fun label k acc -> (label, k) :: acc) t.phases []
+  (* descending by cost, ties broken on label: iteration is already
+     key-sorted, and bench tables must be stable across runs *)
+  Dex_util.Table.fold_sorted (fun label k acc -> (label, k) :: acc) t.phases []
   |> List.sort (fun (la, a) (lb, b) -> if a <> b then compare b a else compare la lb)
 
 let tree t =
@@ -93,7 +93,8 @@ let tree t =
   in
   freeze t.root
 
-let merge ~into src = Hashtbl.iter (fun label k -> charge into ~label k) src.phases
+let merge ~into src =
+  Dex_util.Table.iter_sorted (fun label k -> charge into ~label k) src.phases
 
 let reset t =
   t.total <- 0;

@@ -39,7 +39,7 @@ val trace : t -> Dex_obs.Trace.t option
 
 (** [charge t ~label k] adds [k] rounds under [label], both to the flat
     per-label table and to the leaf [label] under the innermost open
-    span. Raises [Invalid_argument] on negative [k]. *)
+    span. Raises [Dex_util.Invariant.Violation] on negative [k]. *)
 val charge : t -> label:string -> int -> unit
 
 (** [with_span t name f] runs [f ()] inside a span [name] nested under

@@ -18,14 +18,17 @@
 module Rng = Dex_util.Rng
 module Stats = Dex_util.Stats
 module Table = Dex_util.Table
+module Invariant = Dex_util.Invariant
 module Graph = Dex_graph.Graph
 module Metrics = Dex_graph.Metrics
 module Generators = Dex_graph.Generators
 module Graph_io = Dex_graph.Graph_io
 module Json = Dex_obs.Json
 module Trace = Dex_obs.Trace
+module Clock = Dex_obs.Clock
 module Bench_snapshot = Dex_obs.Snapshot
 module Network = Dex_congest.Network
+module Conformance = Dex_congest.Conformance
 module Rounds = Dex_congest.Rounds
 module Primitives = Dex_congest.Primitives
 module Faults = Dex_congest.Faults

@@ -53,7 +53,9 @@ let peel g ~threshold ~alive =
   !peeled
 
 let run ?(preset = Params.Practical) ~delta ~epsilon g rng =
-  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Cpz_baseline.run: delta in (0,1)";
+  Dex_util.Invariant.require
+    (delta > 0.0 && delta < 1.0)
+    ~where:"Cpz_baseline.run" "delta in (0,1)";
   let n = Graph.num_vertices g in
   let m = max 1 (Graph.num_edges g) in
   let threshold = max 1 (int_of_float (Float.ceil (float_of_int n ** delta))) in

@@ -305,4 +305,4 @@ let run ?(preset = Params.Practical) ?ledger ~epsilon ~k g rng =
 let part_members result v =
   match List.nth_opt result.parts result.part_of.(v) with
   | Some part -> part
-  | None -> invalid_arg "Decomposition.part_members"
+  | None -> Dex_util.Invariant.fail ~where:"Decomposition.part_members" "vertex out of range"

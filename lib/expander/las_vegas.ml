@@ -20,7 +20,8 @@ let report_ok (r : Verify.report) =
   r.Verify.is_partition && r.Verify.epsilon_ok && r.Verify.phi_ok
 
 let decompose ?preset ?ledger ?(attempts = 5) ~epsilon ~k g rng =
-  if attempts < 1 then invalid_arg "Las_vegas.decompose: attempts must be >= 1";
+  Dex_util.Invariant.require (attempts >= 1) ~where:"Las_vegas.decompose"
+    "attempts must be >= 1";
   let in_span name f =
     match ledger with Some l -> Rounds.with_span l name f | None -> f ()
   in

@@ -40,7 +40,7 @@ val report_ok : Verify.report -> bool
     {!Verify.check}. With a [ledger], the whole run sits in a
     ["las-vegas"] span, each attempt in an ["attempt-<i>"] span, and
     (when a trace is attached) each verification verdict is emitted as
-    a retry event labeled ["decompose"]. Raises [Invalid_argument]
+    a retry event labeled ["decompose"]. Raises [Dex_util.Invariant.Violation]
     when [attempts < 1]. *)
 val decompose :
   ?preset:Dex_sparsecut.Params.preset ->

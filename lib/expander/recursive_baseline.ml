@@ -10,7 +10,7 @@ type t = {
 }
 
 let run ~phi g rng =
-  if phi <= 0.0 then invalid_arg "Recursive_baseline.run: phi > 0";
+  Dex_util.Invariant.require (phi > 0.0) ~where:"Recursive_baseline.run" "phi > 0";
   let m = max 1 (Graph.num_edges g) in
   let removed = ref 0 in
   let cut_calls = ref 0 in

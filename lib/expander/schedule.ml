@@ -21,8 +21,10 @@ let phi_floor = 2e-3
 let practical_h theta = 3.0 *. theta
 
 let make ?(preset = Params.Practical) ~epsilon ~k g =
-  if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Schedule.make: epsilon in (0,1)";
-  if k < 1 then invalid_arg "Schedule.make: k >= 1";
+  Dex_util.Invariant.require
+    (epsilon > 0.0 && epsilon < 1.0)
+    ~where:"Schedule.make" "epsilon in (0,1)";
+  Dex_util.Invariant.require (k >= 1) ~where:"Schedule.make" "k >= 1";
   let n = Graph.num_vertices g in
   let m = max 1 (Graph.num_edges g) in
   let ln_n = log (Float.max 2.0 (float_of_int n)) in

@@ -12,7 +12,8 @@ let trim g members =
   let in_set = Array.make n false in
   Array.iter
     (fun v ->
-      if v < 0 || v >= n then invalid_arg "Trimming.trim: vertex out of range";
+      if v < 0 || v >= n then
+        Dex_util.Invariant.fail ~where:"Trimming.trim" "vertex out of range";
       in_set.(v) <- true)
     members;
   (* within-set plain degree, maintained incrementally *)

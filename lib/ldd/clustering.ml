@@ -69,7 +69,7 @@ let clusters (t : t) =
       let members = try Hashtbl.find tbl c with Not_found -> [] in
       Hashtbl.replace tbl c (v :: members))
     t.cluster;
-  Hashtbl.fold
+  Dex_util.Table.fold_sorted
     (fun _ members acc ->
       let arr = Array.of_list members in
       Array.sort compare arr;

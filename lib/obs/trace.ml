@@ -186,7 +186,7 @@ let edge_load t (u, v) =
 let top_edges t k =
   if k <= 0 then []
   else
-    Hashtbl.fold (fun e load acc -> (e, load) :: acc) t.edge_loads []
+    Dex_util.Table.fold_sorted (fun e load acc -> (e, load) :: acc) t.edge_loads []
     |> List.sort (fun (ea, la) (eb, lb) -> if la <> lb then compare lb la else compare ea eb)
     |> List.filteri (fun i _ -> i < k)
 

@@ -1,5 +1,6 @@
 module Graph = Dex_graph.Graph
 module Mixing = Dex_spectral.Mixing
+module Invariant = Dex_util.Invariant
 
 type t = {
   k : int;
@@ -12,9 +13,9 @@ type t = {
 }
 
 let build ?(c = 1.0) g rng ~k =
-  if k < 1 then invalid_arg "Hierarchy.build: k >= 1";
+  Invariant.require (k >= 1) ~where:"Hierarchy.build" "k >= 1";
   let n = Graph.num_vertices g in
-  if n = 0 then invalid_arg "Hierarchy.build: empty graph";
+  Invariant.require (n > 0) ~where:"Hierarchy.build" "empty graph";
   let m = max 1 (Graph.num_edges g) in
   let tau_mix = max 1 (Mixing.mixing_time g rng) in
   let beta = float_of_int m ** (1.0 /. float_of_int k) in
@@ -41,10 +42,12 @@ let total_rounds t ~queries =
   if total >= float_of_int max_int then max_int else int_of_float total
 
 let best_k_for g rng ~queries ~k_max =
-  if k_max < 1 then invalid_arg "Hierarchy.best_k_for: k_max >= 1";
+  Invariant.require (k_max >= 1) ~where:"Hierarchy.best_k_for" "k_max >= 1";
   let candidates = List.init k_max (fun i -> build g rng ~k:(i + 1)) in
   match candidates with
-  | [] -> assert false
+  | [] ->
+    (* unreachable: k_max >= 1 gives a non-empty candidate list *)
+    Invariant.fail ~where:"Hierarchy.best_k_for" "no candidates"
   | first :: rest ->
     List.fold_left
       (fun best cand ->

@@ -26,7 +26,7 @@ type t = {
 
 (** [build ?c g rng ~k] measures τ_mix of [g] and instantiates the
     trade-off at depth [k]; [c] is the polylog base constant
-    (default 1.0). Raises [Invalid_argument] if [k < 1] or [g] is
+    (default 1.0). Raises [Dex_util.Invariant.Violation] if [k < 1] or [g] is
     empty. *)
 val build : ?c:float -> Dex_graph.Graph.t -> Dex_util.Rng.t -> k:int -> t
 

@@ -1,5 +1,6 @@
 module Graph = Dex_graph.Graph
 module Rng = Dex_util.Rng
+module Invariant = Dex_util.Invariant
 
 type request = { src : int; dst : int }
 
@@ -19,7 +20,7 @@ type stats = {
 }
 
 let route ?(capacity = 1) ?max_rounds g rng requests =
-  if capacity < 1 then invalid_arg "Token_router.route: capacity >= 1";
+  Invariant.require (capacity >= 1) ~where:"Token_router.route" "capacity >= 1";
   let n = Graph.num_vertices g in
   let max_rounds =
     match max_rounds with
@@ -34,7 +35,7 @@ let route ?(capacity = 1) ?max_rounds g rng requests =
   List.iter
     (fun { src; dst } ->
       if src < 0 || src >= n || dst < 0 || dst >= n then
-        invalid_arg "Token_router.route: endpoint out of range";
+        Invariant.fail ~where:"Token_router.route" "endpoint out of range";
       if src = dst then ()
       else begin
         queue.(src) <- dst :: queue.(src);
@@ -92,7 +93,7 @@ let route ?(capacity = 1) ?max_rounds g rng requests =
   { rounds = !rounds; delivered = !delivered; moves = !moves; max_queue = !max_queue }
 
 let degree_respecting_requests g rng ~load =
-  if load <= 0.0 then invalid_arg "Token_router.degree_respecting_requests: load > 0";
+  Invariant.require (load > 0.0) ~where:"Token_router.degree_respecting_requests" "load > 0";
   let n = Graph.num_vertices g in
   let degrees = Array.init n (fun v -> float_of_int (Graph.degree g v)) in
   let total = Array.fold_left ( +. ) 0.0 degrees in

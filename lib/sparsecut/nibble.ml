@@ -50,7 +50,9 @@ let run_generic (params : Params.t) g ~src ~b ~select =
   let total_volume = Graph.total_volume g in
   let eps = Params.eps_b params b in
   let seen = Hashtbl.create 64 in
-  let note_support p = Hashtbl.iter (fun v _ -> Hashtbl.replace seen v ()) p in
+  let note_support p =
+    Dex_util.Table.iter_sorted (fun v _ -> Hashtbl.replace seen v ()) p
+  in
   let p = ref (Walk.indicator src) in
   note_support !p;
   let rounds = ref 0 in
@@ -100,13 +102,15 @@ let run_generic (params : Params.t) g ~src ~b ~select =
     (* fixpoint detection: once the truncated walk stops moving no
        later sweep can differ, so scanning further steps is pointless *)
     let l1_change =
+      (* sorted iteration: float accumulation order must not depend on
+         the tables' insertion histories *)
       let acc = ref 0.0 in
-      Hashtbl.iter
+      Dex_util.Table.iter_sorted
         (fun v x ->
           let y = try Hashtbl.find !p v with Not_found -> 0.0 in
           acc := !acc +. Float.abs (x -. y))
         next;
-      Hashtbl.iter
+      Dex_util.Table.iter_sorted
         (fun v y -> if not (Hashtbl.mem next v) then acc := !acc +. y)
         !p;
       !acc
@@ -134,8 +138,7 @@ let run_generic (params : Params.t) g ~src ~b ~select =
     | None -> ()
     | Some cut -> result := Some cut
   end;
-  let participants = Array.of_seq (Hashtbl.to_seq_keys seen) in
-  Array.sort compare participants;
+  let participants = Array.of_list (Dex_util.Table.keys_sorted seen) in
   { result = !result;
     src;
     b;

@@ -100,7 +100,7 @@ let run ?k ?ledger params g rng =
                    end)
                  cut.Nibble.vertices);
              if !vol <= threshold then
-               best := Hashtbl.fold (fun v () acc -> v :: acc) members []
+               best := Dex_util.Table.keys_sorted members
              else raise Exit)
            outcomes
        with Exit -> ());

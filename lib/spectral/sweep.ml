@@ -16,7 +16,7 @@ let take sweep j =
 
 let order g p =
   let entries =
-    Hashtbl.fold (fun v mass acc -> (v, mass) :: acc) p []
+    Dex_util.Table.fold_sorted (fun v mass acc -> (v, mass) :: acc) p []
     |> List.filter (fun (v, _) -> Graph.degree g v > 0)
     |> List.map (fun (v, mass) -> (v, mass /. float_of_int (Graph.degree g v)))
   in

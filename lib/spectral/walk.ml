@@ -35,7 +35,7 @@ let step_sparse g p =
     let prev = try Hashtbl.find q v with Not_found -> 0.0 in
     Hashtbl.replace q v (prev +. x)
   in
-  Hashtbl.iter
+  Dex_util.Table.iter_sorted
     (fun v mass ->
       let deg = float_of_int (Graph.degree g v) in
       if deg = 0.0 then add v mass
@@ -49,7 +49,7 @@ let step_sparse g p =
 
 let truncate g ~eps p =
   let q = Hashtbl.create (Hashtbl.length p) in
-  Hashtbl.iter
+  Dex_util.Table.iter_sorted
     (fun v mass ->
       if mass >= 2.0 *. eps *. float_of_int (Graph.degree g v) then Hashtbl.replace q v mass)
     p;
@@ -81,5 +81,5 @@ let rho g p v =
     | None -> 0.0
     | Some mass -> mass /. float_of_int deg
 
-let mass p = Hashtbl.fold (fun _ x acc -> acc +. x) p 0.0
-let support p = Hashtbl.fold (fun v _ acc -> v :: acc) p []
+let mass p = Dex_util.Table.fold_sorted (fun _ x acc -> acc +. x) p 0.0
+let support p = Dex_util.Table.keys_sorted p

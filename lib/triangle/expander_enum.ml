@@ -133,9 +133,7 @@ let run ?preset ?ledger ?(epsilon = 1.0 /. 6.0) ?(k_decomp = 2) ?k_routing g rng
     end
     else current := next
   done;
-  let triangles =
-    Hashtbl.fold (fun t () acc -> t :: acc) detected [] |> List.sort compare
-  in
+  let triangles = Dex_util.Table.keys_sorted detected in
   { triangles;
     levels = List.rev !levels;
     total_rounds = !total_rounds;

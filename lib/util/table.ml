@@ -1,3 +1,25 @@
+(* ---------------- deterministic hashtable iteration ---------------- *)
+
+(* The only sanctioned way to iterate a Hashtbl in algorithm libraries:
+   hash-order iteration leaks the table's insertion history into round
+   schedules, RNG consumption and float accumulation order, breaking
+   the (graph, seed) -> run determinism the simulation promises (lint
+   rule D001). These helpers materialise the key set, sort it, and
+   visit bindings in ascending key order. *)
+
+let keys_sorted ?(compare = Stdlib.compare) tbl =
+  (* dex-lint: allow D001 the sorted-iteration helper itself *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.sort_uniq compare keys
+
+let iter_sorted ?compare f tbl =
+  List.iter (fun k -> f k (Hashtbl.find tbl k)) (keys_sorted ?compare tbl)
+
+let fold_sorted ?compare f tbl init =
+  List.fold_left (fun acc k -> f k (Hashtbl.find tbl k) acc) init (keys_sorted ?compare tbl)
+
+(* ---------------- aligned text tables ---------------- *)
+
 type t = { title : string; headers : string list; mutable rows : string list list }
 
 let create ~title headers = { title; headers; rows = [] }

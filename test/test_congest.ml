@@ -35,7 +35,8 @@ let test_rounds_ledger () =
   Alcotest.(check int) "merged" 18 (Rounds.total r);
   Rounds.reset r;
   Alcotest.(check int) "reset" 0 (Rounds.total r);
-  Alcotest.check_raises "negative" (Invalid_argument "Rounds.charge: negative round count")
+  Alcotest.check_raises "negative"
+    (Dex_util.Invariant.Violation { where = "Rounds.charge"; what = "negative round count" })
     (fun () -> Rounds.charge r ~label:"x" (-1))
 
 (* ---------- message passing ---------- *)

@@ -45,9 +45,11 @@ let test_schedule_theory_ladder_collapses () =
 
 let test_schedule_validation () =
   let g = Gen.complete 5 in
-  Alcotest.check_raises "epsilon" (Invalid_argument "Schedule.make: epsilon in (0,1)")
+  Alcotest.check_raises "epsilon"
+    (Dex_util.Invariant.Violation { where = "Schedule.make"; what = "epsilon in (0,1)" })
     (fun () -> ignore (Schedule.make ~epsilon:1.5 ~k:1 g));
-  Alcotest.check_raises "k" (Invalid_argument "Schedule.make: k >= 1") (fun () ->
+  Alcotest.check_raises "k"
+    (Dex_util.Invariant.Violation { where = "Schedule.make"; what = "k >= 1" }) (fun () ->
       ignore (Schedule.make ~epsilon:0.5 ~k:0 g))
 
 let test_h_of_presets () =
@@ -202,7 +204,8 @@ let test_cpz_no_leftover_on_dense_expander () =
 
 let test_cpz_validation () =
   let g = Gen.complete 5 in
-  Alcotest.check_raises "delta" (Invalid_argument "Cpz_baseline.run: delta in (0,1)")
+  Alcotest.check_raises "delta"
+    (Dex_util.Invariant.Violation { where = "Cpz_baseline.run"; what = "delta in (0,1)" })
     (fun () -> ignore (Cpz.run ~delta:0.0 ~epsilon:0.1 g (Rng.create 1)))
 
 let test_verify_part_methods () =
@@ -330,7 +333,8 @@ let test_las_vegas_deterministic () =
 let test_las_vegas_rejects_bad_budget () =
   let g = Gen.complete 8 in
   Alcotest.check_raises "attempts >= 1"
-    (Invalid_argument "Las_vegas.decompose: attempts must be >= 1") (fun () ->
+    (Dex_util.Invariant.Violation
+       { where = "Las_vegas.decompose"; what = "attempts must be >= 1" }) (fun () ->
       ignore (Lv.decompose ~attempts:0 ~epsilon:0.3 ~k:2 g (Rng.create 305)))
 
 let prop_decomposition_is_partition =

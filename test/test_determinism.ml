@@ -1,0 +1,197 @@
+(* Determinism regression tests (the dynamic side of the dex_lint
+   rules) and schedule-permutation conformance checks.
+
+   Determinism: rebuilding a graph from a shuffled, endpoint-flipped
+   edge list yields the same internal representation (adjacency is
+   sorted at build time), so a schedule-insensitive algorithm must
+   return bit-identical results on it. A regression here means some
+   code path started observing hash order, ambient randomness or
+   another representation artifact.
+
+   Conformance: Dex_congest.Conformance replays protocols under a
+   permuted activation/delivery schedule; conformant protocols pass,
+   and deliberately racy or budget-violating ones are detected. *)
+
+module Graph = Dex_graph.Graph
+module Gen = Dex_graph.Generators
+module Rng = Dex_util.Rng
+module Decomposition = Dex_decomp.Decomposition
+module Enum = Dex_triangle.Expander_enum
+module Conformance = Dex_congest.Conformance
+
+(* shuffled edge list, each edge flipped pseudo-randomly: a different
+   presentation of the same graph *)
+let permuted_copy seed g =
+  let rng = Rng.create seed in
+  let edges = Array.of_list (Graph.edges g) in
+  Rng.shuffle rng edges;
+  let edges = Array.map (fun (u, v) -> if Rng.bool rng then (v, u) else (u, v)) edges in
+  Graph.of_edge_array ~n:(Graph.num_vertices g) edges
+
+let test_graph seed =
+  let rng = Rng.create seed in
+  Gen.connectivize rng (Gen.gnp rng ~n:96 ~p:0.08)
+
+(* ---------- decomposition determinism ---------- *)
+
+let check_same_partition msg a b =
+  Alcotest.(check (list (array int)))
+    (msg ^ ": parts") a.Decomposition.parts b.Decomposition.parts;
+  Alcotest.(check (array int)) (msg ^ ": part_of") a.Decomposition.part_of
+    b.Decomposition.part_of;
+  Alcotest.(check int) (msg ^ ": rounds") a.Decomposition.stats.Decomposition.rounds
+    b.Decomposition.stats.Decomposition.rounds;
+  Alcotest.(check int) (msg ^ ": removed edges")
+    (List.length a.Decomposition.removed_edges)
+    (List.length b.Decomposition.removed_edges)
+
+let test_decompose_repr_independent () =
+  let g = test_graph 41 in
+  let g' = permuted_copy 42 g in
+  let run h = Decomposition.run ~epsilon:(1. /. 6.) ~k:2 h (Rng.create 7) in
+  check_same_partition "permuted adjacency" (run g) (run g');
+  check_same_partition "same graph twice" (run g) (run g)
+
+let test_decompose_seed_sensitivity_is_sole_source () =
+  (* same representation, same seed, three times in a row: any drift
+     means hidden global state *)
+  let g = test_graph 43 in
+  let run () = Decomposition.run ~epsilon:(1. /. 6.) ~k:2 g (Rng.create 11) in
+  let a = run () and b = run () and c = run () in
+  check_same_partition "run 1 vs 2" a b;
+  check_same_partition "run 2 vs 3" b c
+
+(* ---------- triangle enumeration determinism ---------- *)
+
+let tri = Alcotest.(triple int int int)
+
+let test_triangles_repr_independent () =
+  let g = test_graph 45 in
+  let g' = permuted_copy 46 g in
+  let run h = (Enum.run h (Rng.create 9)).Enum.triangles in
+  Alcotest.(check (list tri)) "same triangle set" (run g) (run g');
+  Alcotest.(check (list tri)) "repeat run" (run g) (run g)
+
+(* ---------- conformance: clean protocols pass ---------- *)
+
+let small_expander seed = Gen.random_regular (Rng.create seed) ~n:24 ~d:4
+
+let test_bfs_conformant () =
+  let g = small_expander 50 in
+  let r = Conformance.check g ~protocol:(Conformance.bfs ~root:0 g) () in
+  Alcotest.(check bool)
+    (String.concat "; " (List.map Conformance.describe r.Conformance.violations))
+    true (Conformance.ok r);
+  Alcotest.(check int) "round counts agree" r.Conformance.rounds_canonical
+    r.Conformance.rounds_permuted
+
+let test_leader_conformant () =
+  let g = small_expander 51 in
+  let r = Conformance.check g ~protocol:(Conformance.leader g) () in
+  Alcotest.(check bool)
+    (String.concat "; " (List.map Conformance.describe r.Conformance.violations))
+    true (Conformance.ok r);
+  Alcotest.(check int) "messages agree" r.Conformance.messages_canonical
+    r.Conformance.messages_permuted
+
+(* ---------- conformance: races and kernel violations detected ---------- *)
+
+(* adopt the sender of the FIRST inbox message: delivery-order
+   dependent by construction *)
+type racy_state = { got : int; sent : bool }
+
+let racy_protocol g () =
+  let init _ = { got = -1; sent = false } in
+  let step ~round:_ ~vertex:v st inbox =
+    let st =
+      match inbox with
+      | (sender, _) :: _ when st.got < 0 -> { st with got = sender }
+      | _ -> st
+    in
+    if st.sent then (st, [])
+    else
+      let outbox = ref [] in
+      Graph.iter_neighbors g v (fun u -> outbox := (u, [| v |]) :: !outbox);
+      ({ st with sent = true }, !outbox)
+  in
+  let finished states = Array.for_all (fun st -> st.sent && st.got >= 0) states in
+  { Conformance.init; step; finished }
+
+let test_race_detected () =
+  let g = small_expander 52 in
+  let r = Conformance.check g ~protocol:(racy_protocol g) () in
+  Alcotest.(check bool) "race reported" true
+    (List.exists
+       (function Conformance.State_divergence _ -> true | _ -> false)
+       r.Conformance.violations)
+
+let one_shot per_vertex () =
+  let init _ = false in
+  let step ~round:_ ~vertex:v sent _inbox =
+    if sent then (true, []) else (true, per_vertex v)
+  in
+  let finished states = Array.for_all Fun.id states in
+  { Conformance.init; step; finished }
+
+let test_word_budget_audited () =
+  let g = small_expander 53 in
+  let wide v = [ ((Graph.neighbors g v).(0), [| v; v |]) ] in
+  let r = Conformance.check ~word_size:1 g ~protocol:(one_shot wide) () in
+  Alcotest.(check bool) "over-budget message reported" true
+    (List.exists
+       (function
+         | Conformance.Word_budget_exceeded { words = 2; budget = 1; _ } -> true
+         | _ -> false)
+       r.Conformance.violations)
+
+let test_duplicate_edge_audited () =
+  let g = small_expander 54 in
+  let twice v =
+    let u = (Graph.neighbors g v).(0) in
+    [ (u, [| v |]); (u, [| v |]) ]
+  in
+  let r = Conformance.check g ~protocol:(one_shot twice) () in
+  Alcotest.(check bool) "duplicate directed edge reported" true
+    (List.exists
+       (function Conformance.Duplicate_message _ -> true | _ -> false)
+       r.Conformance.violations)
+
+let test_non_neighbor_audited () =
+  let g = Gen.path 6 in
+  let far v = [ ((v + 3) mod 6, [| v |]) ] in
+  let r = Conformance.check g ~protocol:(one_shot far) () in
+  Alcotest.(check bool) "non-neighbor send reported" true
+    (List.exists
+       (function Conformance.Not_a_neighbor _ -> true | _ -> false)
+       r.Conformance.violations)
+
+let test_describe_covers_all () =
+  let open Conformance in
+  let vs =
+    [ Word_budget_exceeded
+        { run = Canonical; round = 1; vertex = 2; dst = 3; words = 4; budget = 1 };
+      Duplicate_message { run = Permuted; round = 1; vertex = 2; dst = 3 };
+      Not_a_neighbor { run = Canonical; round = 1; vertex = 2; dst = 3 };
+      Round_limit { run = Permuted; executed = 9 };
+      State_divergence
+        { round = 1; vertex = 2; digest_canonical = 3; digest_permuted = 4 };
+      Round_divergence { rounds_canonical = 5; rounds_permuted = 6 } ]
+  in
+  List.iter (fun v -> Alcotest.(check bool) "non-empty" true (describe v <> "")) vs
+
+let () =
+  Alcotest.run "determinism"
+    [ ( "representation-independence",
+        [ Alcotest.test_case "decomposition" `Quick test_decompose_repr_independent;
+          Alcotest.test_case "decomposition repeat" `Quick
+            test_decompose_seed_sensitivity_is_sole_source;
+          Alcotest.test_case "triangle enumeration" `Quick
+            test_triangles_repr_independent ] );
+      ( "conformance",
+        [ Alcotest.test_case "bfs passes" `Quick test_bfs_conformant;
+          Alcotest.test_case "leader passes" `Quick test_leader_conformant;
+          Alcotest.test_case "schedule race detected" `Quick test_race_detected;
+          Alcotest.test_case "word budget audited" `Quick test_word_budget_audited;
+          Alcotest.test_case "duplicate edge audited" `Quick test_duplicate_edge_audited;
+          Alcotest.test_case "non-neighbor audited" `Quick test_non_neighbor_audited;
+          Alcotest.test_case "describe" `Quick test_describe_covers_all ] ) ]

@@ -1,0 +1,185 @@
+(* Tests for the dex_lint engine: every rule fires on a violating
+   fixture, path scoping exempts the sanctioned locations, and the
+   suppression pragma behaves as documented. Fixtures are linted
+   in-memory with fake paths, so the path-scoping logic itself is
+   under test. *)
+
+module Lint = Dex_lint_core.Lint
+module Json = Dex_obs.Json
+
+let lint ?(path = "lib/congest/fixture.ml") ?all_rules src =
+  match Lint.lint_source ?all_rules ~path src with
+  | Ok findings -> findings
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+
+let rules_of findings = List.map (fun f -> f.Lint.rule) findings
+
+let check_rules msg expected findings =
+  Alcotest.(check (list string)) msg expected (rules_of findings)
+
+(* ---------- each rule fires ---------- *)
+
+let test_d001_hashtbl () =
+  let fs = lint "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl" in
+  check_rules "iter" [ "D001" ] fs;
+  check_rules "fold" [ "D001" ]
+    (lint "let f tbl = Hashtbl.fold (fun _ _ acc -> acc) tbl 0");
+  check_rules "to_seq_keys" [ "D001" ]
+    (lint "let f tbl = List.of_seq (Hashtbl.to_seq_keys tbl)");
+  check_rules "qualified Stdlib" [ "D001" ]
+    (lint "let f tbl = Stdlib.Hashtbl.iter (fun _ _ -> ()) tbl")
+
+let test_d001_allows_ordered_ops () =
+  check_rules "mem/replace/find fine" []
+    (lint
+       "let f tbl = Hashtbl.replace tbl 1 2; Hashtbl.mem tbl 1 && \
+        Hashtbl.find tbl 1 = 2")
+
+let test_d002_random () =
+  check_rules "Random.int" [ "D002" ] (lint "let f () = Random.int 10");
+  check_rules "Random.State" [ "D002" ]
+    (lint "let f st = Random.State.int st 10");
+  check_rules "self_init" [ "D002" ] (lint "let f () = Random.self_init ()")
+
+let test_d003_aborts () =
+  check_rules "failwith" [ "D003" ] (lint "let f () = failwith \"x\"");
+  check_rules "invalid_arg" [ "D003" ] (lint "let f () = invalid_arg \"x\"");
+  check_rules "assert false" [ "D003" ] (lint "let f () = assert false");
+  check_rules "assert cond is fine" [] (lint "let f x = assert (x > 0)")
+
+let test_d004_wall_clock () =
+  check_rules "Sys.time" [ "D004" ] (lint "let f () = Sys.time ()");
+  check_rules "gettimeofday" [ "D004" ] (lint "let f () = Unix.gettimeofday ()");
+  check_rules "Unix.time" [ "D004" ] (lint "let f () = Unix.time ()")
+
+let test_d005_poly_compare () =
+  check_rules "g = g'" [ "D005" ] (lint "let f g g2 = g = g2");
+  check_rules "field" [ "D005" ] (lint "let f a b = a.graph = b.other");
+  check_rules "compare network" [ "D005" ] (lint "let f net x = compare net x");
+  check_rules "suffix _graph" [ "D005" ]
+    (lint "let f sub_graph x = min sub_graph x");
+  check_rules "type constraint" [ "D005" ]
+    (lint "let f a b = (a : Dex_graph.Graph.t) = b");
+  check_rules "ints fine" [] (lint "let f a b = a = b && compare a b = 0")
+
+(* ---------- path scoping ---------- *)
+
+let test_scope_d003_only_protocol_layers () =
+  let src = "let f () = failwith \"x\"" in
+  check_rules "congest" [ "D003" ] (lint ~path:"lib/congest/x.ml" src);
+  check_rules "routing" [ "D003" ] (lint ~path:"lib/routing/x.ml" src);
+  check_rules "expander" [ "D003" ] (lint ~path:"lib/expander/x.ml" src);
+  check_rules "util exempt" [] (lint ~path:"lib/util/x.ml" src);
+  check_rules "graph exempt" [] (lint ~path:"lib/graph/x.ml" src)
+
+let test_scope_d002_rng_exempt () =
+  let src = "let f () = Random.int 3" in
+  check_rules "rng.ml exempt" [] (lint ~path:"lib/util/rng.ml" src);
+  check_rules "elsewhere fires" [ "D002" ] (lint ~path:"lib/util/other.ml" src)
+
+let test_scope_d004_obs_and_bench_exempt () =
+  let src = "let f () = Unix.gettimeofday ()" in
+  check_rules "lib/obs exempt" [] (lint ~path:"lib/obs/clock.ml" src);
+  check_rules "bench exempt" [] (lint ~path:"bench/main.ml" src);
+  check_rules "congest fires" [ "D004" ] (lint ~path:"lib/congest/x.ml" src)
+
+let test_scope_absolute_paths () =
+  let src = "let f () = failwith \"x\"" in
+  check_rules "absolute path anchors at lib/" [ "D003" ]
+    (lint ~path:"/root/repo/lib/congest/x.ml" src)
+
+let test_all_rules_overrides_scope () =
+  let src = "let f () = failwith \"x\"" in
+  check_rules "scoped off" [] (lint ~path:"whatever.ml" src);
+  check_rules "--all-rules on" [ "D003" ]
+    (lint ~all_rules:true ~path:"whatever.ml" src)
+
+(* ---------- suppression pragmas ---------- *)
+
+let test_suppression_same_and_next_line () =
+  check_rules "next line" []
+    (lint
+       "(* dex-lint: allow D002 test needs ambient randomness *)\n\
+        let f () = Random.int 3");
+  check_rules "same line" []
+    (lint
+       "let f () = Random.int 3 (* dex-lint: allow D002 inline reason *)")
+
+let test_suppression_is_rule_specific () =
+  check_rules "other rule still fires" [ "D003" ]
+    (lint
+       "(* dex-lint: allow D002 wrong rule *)\n\
+        let f () = failwith \"x\"")
+
+let test_suppression_requires_reason () =
+  let fs =
+    lint "(* dex-lint: allow D002 *)\nlet f () = Random.int 3"
+  in
+  check_rules "inert pragma: D000 + the finding" [ "D000"; "D002" ] fs
+
+let test_suppression_does_not_leak () =
+  check_rules "two lines below: fires" [ "D002" ]
+    (lint
+       "(* dex-lint: allow D002 reason *)\nlet a = 1\nlet f () = Random.int 3")
+
+(* ---------- driver behavior ---------- *)
+
+let test_parse_error () =
+  match Lint.lint_source ~path:"lib/x.ml" "let let let" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let test_findings_sorted_and_positioned () =
+  let fs =
+    lint "let a () = Random.int 1\nlet b () = failwith \"x\"\nlet c tbl = Hashtbl.iter ignore tbl"
+  in
+  check_rules "ordered by line" [ "D002"; "D003"; "D001" ] fs;
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 3 ]
+    (List.map (fun f -> f.Lint.line) fs)
+
+let test_json_report_round_trips () =
+  let fs = lint "let f () = failwith \"x\"" in
+  let doc = Lint.report_to_json ~files:1 ~errors:[ ("bad.ml", "boom") ] fs in
+  match Json.parse (Json.to_string doc) with
+  | Error msg -> Alcotest.failf "report not valid JSON: %s" msg
+  | Ok v ->
+    Alcotest.(check (option string)) "tool" (Some "dex_lint")
+      (Option.bind (Json.member "tool" v) Json.to_str);
+    let findings = Option.bind (Json.member "findings" v) Json.to_list in
+    Alcotest.(check (option int)) "one finding" (Some 1)
+      (Option.map List.length findings)
+
+let test_rule_table_complete () =
+  Alcotest.(check (list string)) "ids"
+    [ "D001"; "D002"; "D003"; "D004"; "D005" ]
+    (List.map fst Lint.rules)
+
+let () =
+  Alcotest.run "lint"
+    [ ( "rules",
+        [ Alcotest.test_case "D001 hashtbl order" `Quick test_d001_hashtbl;
+          Alcotest.test_case "D001 ordered ops ok" `Quick test_d001_allows_ordered_ops;
+          Alcotest.test_case "D002 ambient random" `Quick test_d002_random;
+          Alcotest.test_case "D003 untyped aborts" `Quick test_d003_aborts;
+          Alcotest.test_case "D004 wall clock" `Quick test_d004_wall_clock;
+          Alcotest.test_case "D005 poly compare" `Quick test_d005_poly_compare ] );
+      ( "scoping",
+        [ Alcotest.test_case "D003 protocol layers" `Quick
+            test_scope_d003_only_protocol_layers;
+          Alcotest.test_case "D002 rng exempt" `Quick test_scope_d002_rng_exempt;
+          Alcotest.test_case "D004 obs/bench exempt" `Quick
+            test_scope_d004_obs_and_bench_exempt;
+          Alcotest.test_case "absolute paths" `Quick test_scope_absolute_paths;
+          Alcotest.test_case "--all-rules" `Quick test_all_rules_overrides_scope ] );
+      ( "suppressions",
+        [ Alcotest.test_case "same and next line" `Quick
+            test_suppression_same_and_next_line;
+          Alcotest.test_case "rule specific" `Quick test_suppression_is_rule_specific;
+          Alcotest.test_case "reason required" `Quick test_suppression_requires_reason;
+          Alcotest.test_case "no leak" `Quick test_suppression_does_not_leak ] );
+      ( "driver",
+        [ Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "sorted findings" `Quick
+            test_findings_sorted_and_positioned;
+          Alcotest.test_case "json round trip" `Quick test_json_report_round_trips;
+          Alcotest.test_case "rule table" `Quick test_rule_table_complete ] ) ]

@@ -55,7 +55,8 @@ let test_best_k_minimizes () =
 
 let test_build_validation () =
   let g = expander 11 64 6 in
-  Alcotest.check_raises "k" (Invalid_argument "Hierarchy.build: k >= 1") (fun () ->
+  Alcotest.check_raises "k"
+    (Dex_util.Invariant.Violation { where = "Hierarchy.build"; what = "k >= 1" }) (fun () ->
       ignore (Hierarchy.build g (Rng.create 1) ~k:0))
 
 (* ---------- token router ---------- *)
@@ -99,9 +100,11 @@ let test_route_undelivered_context () =
 let test_route_validation () =
   let g = expander 19 32 4 in
   Alcotest.check_raises "endpoint range"
-    (Invalid_argument "Token_router.route: endpoint out of range") (fun () ->
+    (Dex_util.Invariant.Violation
+       { where = "Token_router.route"; what = "endpoint out of range" }) (fun () ->
       ignore (Router.route g (Rng.create 20) [ { Router.src = 0; dst = 99 } ]));
-  Alcotest.check_raises "capacity" (Invalid_argument "Token_router.route: capacity >= 1")
+  Alcotest.check_raises "capacity"
+    (Dex_util.Invariant.Violation { where = "Token_router.route"; what = "capacity >= 1" })
     (fun () -> ignore (Router.route ~capacity:0 g (Rng.create 20) []))
 
 let test_degree_respecting_requests () =

@@ -1,0 +1,3 @@
+(* a pragma without a reason is inert and flagged as D000 *)
+(* dex-lint: allow D002 *)
+let coin () = Random.bool ()

@@ -1,0 +1,4 @@
+(* D001: hash-order iteration *)
+let sum tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%d %d\n" k v) tbl
+let keys tbl = List.of_seq (Hashtbl.to_seq_keys tbl)

@@ -1,0 +1,3 @@
+(* D002: ambient randomness *)
+let coin () = Random.bool ()
+let seeded () = Random.self_init ()

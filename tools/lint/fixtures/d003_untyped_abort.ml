@@ -1,0 +1,4 @@
+(* D003: untyped aborts *)
+let check n = if n < 0 then invalid_arg "n"
+let boom () = failwith "unexpected"
+let unreachable () = assert false

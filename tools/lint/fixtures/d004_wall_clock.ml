@@ -1,0 +1,3 @@
+(* D004: wall-clock reads *)
+let t0 () = Sys.time ()
+let t1 () = Unix.gettimeofday ()

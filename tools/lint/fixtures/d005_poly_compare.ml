@@ -1,0 +1,3 @@
+(* D005: polymorphic comparison of graph/network values *)
+let same g other_graph = g = other_graph
+let order net x = compare net x

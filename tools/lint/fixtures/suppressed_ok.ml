@@ -1,0 +1,3 @@
+(* a well-formed pragma silences the rule on the next line *)
+(* dex-lint: allow D002 fixture demonstrating a valid suppression *)
+let coin () = Random.bool ()
