@@ -600,6 +600,7 @@ let e10_micro () =
       (X.Network.run_rounds net ~label:"bench-flood"
          ~init:(fun v -> v land 1)
          ~step:(fun ~round:_ ~vertex:v st inbox ->
+           let v = X.Vertex.local_int v in
            let st = List.fold_left (fun acc (_, m) -> acc lxor m.(0)) st inbox in
            let out = ref [] in
            X.Graph.iter_neighbors flood_cycle v (fun u -> out := (u, [| st |]) :: !out);
@@ -640,16 +641,15 @@ let e10_micro () =
   let raw = Benchmark.all cfg instances test in
   let results = Analyze.merge ols instances [ Analyze.all ols Toolkit.Instance.monotonic_clock raw ] in
   let t = Table.create ~title:"Micro-benchmarks (monotonic clock, ns/run)" [ "benchmark"; "ns/run" ] in
-  Hashtbl.iter
+  Table.iter_sorted
     (fun _clock tbl ->
-      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
-      List.iter
-        (fun (name, ols) ->
+      Table.iter_sorted
+        (fun name ols ->
           let est =
             match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan
           in
           Table.add_row t [ name; Printf.sprintf "%.0f" est ])
-        (List.sort compare rows))
+        tbl)
     results;
   out_table t
 
@@ -783,7 +783,7 @@ let e13_faults () =
     let correct, label =
       match proto with
       | `Bfs ->
-        let tree = X.Reliable.bfs_tree net ~root:0 in
+        let tree = X.Reliable.bfs_tree net ~root:(X.Vertex.local 0) in
         (tree.X.Primitives.depth = truth, "bfs-reliable")
       | `Leader ->
         let leaders = X.Reliable.elect_leader net in

@@ -230,7 +230,7 @@ let faults_cmd =
     let exec faults =
       let ledger = X.Rounds.create () in
       let net = X.Network.create ?faults g ledger in
-      let tree = X.Reliable.bfs_tree ~config net ~root:0 in
+      let tree = X.Reliable.bfs_tree ~config net ~root:(X.Vertex.local 0) in
       let leaders = X.Reliable.elect_leader ~config net in
       let phases = X.Rounds.by_phase ledger in
       let rounds label = try List.assoc label phases with Not_found -> 0 in
@@ -403,7 +403,7 @@ let conformance_cmd =
     in
     let bfs_ok =
       report "bfs"
-        (X.Conformance.check ~word_size ~seed g ~protocol:(X.Conformance.bfs ~root:0 g) ())
+        (X.Conformance.check ~word_size ~seed g ~protocol:(X.Conformance.bfs ~root:(X.Vertex.local 0) g) ())
     in
     let leader_ok =
       report "leader"
@@ -415,6 +415,7 @@ let conformance_cmd =
       let racy () =
         let init _ = (-1, false) in
         let step ~round:_ ~vertex:v (got, sent) inbox =
+          let v = X.Vertex.local_int v in
           let got =
             match inbox with (sender, _) :: _ when got < 0 -> sender | _ -> got
           in
@@ -446,6 +447,86 @@ let conformance_cmd =
       const run $ family_t $ file_t $ n_t $ seed_t $ p_t $ parts_t $ p_in_t $ p_out_t
       $ degree_t $ word_size_t $ demo_race_t)
 
+let lint_cmd =
+  let module Cli = Dex_lint_core.Cli in
+  let targets_t =
+    Arg.(
+      value & pos_all string [ "." ]
+      & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: the whole tree).")
+  in
+  let json_t =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as a single JSON object.")
+  in
+  let all_rules_t =
+    Arg.(
+      value & flag
+      & info [ "all-rules" ] ~doc:"Apply every rule regardless of path scoping.")
+  in
+  let typed_only_t =
+    Arg.(
+      value & flag
+      & info [ "typed-only" ] ~doc:"Run only the typed-AST engine (C-rules).")
+  in
+  let no_typed_t =
+    Arg.(
+      value & flag
+      & info [ "no-typed" ] ~doc:"Run only the parsetree engine (D-rules).")
+  in
+  let cmt_root_t =
+    Arg.(
+      value & opt string "_build/default"
+      & info [ "cmt-root" ] ~docv:"DIR"
+          ~doc:"Root of the .cmt forest (run $(b,dune build @check) to populate it).")
+  in
+  let source_root_t =
+    Arg.(
+      value & opt string "."
+      & info [ "source-root" ] ~docv:"DIR"
+          ~doc:"Root the .cmt source paths are relative to.")
+  in
+  let graph_json_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "graph-json" ] ~docv:"FILE"
+          ~doc:"Write the module reference graph as JSON.")
+  in
+  let dead_scope_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "dead-scope" ] ~docv:"DIR"
+          ~doc:"Also scan DIR's .mli exports for C004 (default: lib).")
+  in
+  let include_fixtures_t =
+    Arg.(
+      value & flag
+      & info [ "include-fixtures" ]
+          ~doc:"Lint fixture directories too (they violate on purpose).")
+  in
+  let run json all_rules typed_only no_typed cmt_root source_root graph_json
+      dead_scope include_fixtures targets =
+    let opts =
+      { Cli.json;
+        all_rules;
+        typed_only;
+        no_typed;
+        cmt_root;
+        source_root;
+        graph_json;
+        dead_scope = (if dead_scope = [] then Cli.default_opts.Cli.dead_scope else dead_scope);
+        include_fixtures;
+        targets }
+    in
+    exit (Cli.run opts)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static certifier: parsetree determinism rules (D-rules) and the \
+          typed-AST word-budget / coordinate-space / reference-graph rules (C-rules).")
+    Term.(
+      const run $ json_t $ all_rules_t $ typed_only_t $ no_typed_t $ cmt_root_t
+      $ source_root_t $ graph_json_t $ dead_scope_t $ include_fixtures_t $ targets_t)
+
 let () =
   let doc = "Distributed expander decomposition and triangle enumeration (PODC 2019)" in
   let info = Cmd.info "dexpander" ~version:"1.0.0" ~doc in
@@ -453,4 +534,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; decompose_cmd; sparse_cut_cmd; ldd_cmd; triangles_cmd;
-            faults_cmd; trace_cmd; conformance_cmd ]))
+            faults_cmd; trace_cmd; conformance_cmd; lint_cmd ]))

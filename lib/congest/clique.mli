@@ -21,18 +21,19 @@ type message = int array
 (** [create ?word_size ~n ledger] makes an n-vertex clique machine. *)
 val create : ?word_size:int -> n:int -> Rounds.t -> t
 
-(** [n t] is the number of vertices. *)
-val n : t -> int
-
 (** [messages_sent t]. *)
 val messages_sent : t -> int
 
-type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (int * message) list
+(** Same shape as {!Network.step}; [vertex] is phantom-typed as an id
+    of this clique machine ({!Dex_graph.Vertex.local}). *)
+type 's step =
+  round:int ->
+  vertex:Dex_graph.Vertex.local ->
+  's ->
+  (int * message) list ->
+  's * (int * message) list
 
 (** [run_rounds t ~label ~init ~step k] executes exactly [k] rounds.
     A vertex may address any other vertex; sending to itself or twice
     to the same destination in a round raises {!Congestion_violation}. *)
 val run_rounds : t -> label:string -> init:(int -> 's) -> step:'s step -> int -> 's array
-
-(** [rounds t] is the shared ledger. *)
-val rounds : t -> Rounds.t

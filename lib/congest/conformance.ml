@@ -105,7 +105,7 @@ let exec ~run ~word_size ~max_rounds ~rng g (p : 's protocol) ~digest =
             Rng.shuffle r a;
             Array.to_list a
         in
-        let state', outbox = p.step ~round ~vertex:v states.(v) inbox in
+        let state', outbox = p.step ~round ~vertex:(Dex_graph.Vertex.local v) states.(v) inbox in
         states.(v) <- state';
         let seen = Hashtbl.create 8 in
         List.iter
@@ -120,6 +120,7 @@ let exec ~run ~word_size ~max_rounds ~rng g (p : 's protocol) ~digest =
             if Hashtbl.mem seen u then record (Duplicate_message { run; round; vertex = v; dst = u })
             else Hashtbl.replace seen u ();
             incr messages;
+            (* dex-lint: allow C002 the audit kernel records budget violations instead of raising *)
             next.(u) <- (v, msg) :: next.(u))
           outbox)
       order;
@@ -180,12 +181,14 @@ let check ?(word_size = 1) ?(max_rounds = 100_000) ?(seed = 0xD1CE) ?digest g ~p
    by construction *)
 type bfs_state = { dist : int; par : int; pending : bool }
 
-let bfs ?(root = 0) g () =
+let bfs ?(root = Dex_graph.Vertex.local 0) g () =
+  let root = Dex_graph.Vertex.local_int root in
   let init v =
     if v = root then { dist = 0; par = root; pending = true }
     else { dist = max_int; par = -1; pending = false }
   in
   let step ~round:_ ~vertex:v st inbox =
+    let v = Dex_graph.Vertex.local_int v in
     let st =
       if st.dist = max_int then
         List.fold_left
@@ -212,6 +215,7 @@ type leader_state = { best : int; fresh : bool }
 let leader g () =
   let init v = { best = v; fresh = true } in
   let step ~round:_ ~vertex:v st inbox =
+    let v = Dex_graph.Vertex.local_int v in
     let best =
       List.fold_left (fun acc (_, (msg : Network.message)) -> min acc msg.(0)) st.best inbox
     in

@@ -95,9 +95,10 @@ val check :
 
 type bfs_state = { dist : int; par : int; pending : bool }
 
-(** BFS flood from [root] (default 0): min-adoption over the inbox,
-    ties broken toward the smaller sender id — order-insensitive. *)
-val bfs : ?root:int -> Dex_graph.Graph.t -> unit -> bfs_state protocol
+(** BFS flood from [root] (default vertex 0): min-adoption over the
+    inbox, ties broken toward the smaller sender id —
+    order-insensitive. *)
+val bfs : ?root:Dex_graph.Vertex.local -> Dex_graph.Graph.t -> unit -> bfs_state protocol
 
 type leader_state = { best : int; fresh : bool }
 

@@ -61,18 +61,9 @@ let create spec =
     duplicates = 0;
     observer = None }
 
-let spec t = t.spec
 let trace t = List.rev t.events
 let drops t = t.drops
 let duplicates t = t.duplicates
-
-let reset t =
-  t.events <- [];
-  t.drops <- 0;
-  t.duplicates <- 0;
-  Hashtbl.reset t.announced_links;
-  Hashtbl.reset t.announced_crashes
-
 let set_observer t obs = t.observer <- obs
 
 let record t e =
@@ -98,7 +89,7 @@ let uniform t ~round ~src ~dst ~salt =
   (* top 53 bits -> [0, 1) *)
   Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
 
-let crashed t ~round ~vertex =
+let crashed_int t ~round ~vertex =
   match Hashtbl.find_opt t.crash_round vertex with
   | Some r when r <= round ->
     if not (Hashtbl.mem t.announced_crashes vertex) then begin
@@ -124,9 +115,13 @@ let drop t ~round ~src ~dst =
   record t (Drop { round; src; dst });
   `Drop
 
+let crashed t ~round ~vertex =
+  crashed_int t ~round ~vertex:(Dex_graph.Vertex.local_int vertex)
+
 let verdict t ~round ~src ~dst =
+  let src = Dex_graph.Vertex.local_int src and dst = Dex_graph.Vertex.local_int dst in
   if link_dead t ~round ~src ~dst then drop t ~round ~src ~dst
-  else if crashed t ~round ~vertex:dst then drop t ~round ~src ~dst
+  else if crashed_int t ~round ~vertex:dst then drop t ~round ~src ~dst
   else if t.spec.drop > 0.0 && uniform t ~round ~src ~dst ~salt:0 < t.spec.drop then
     drop t ~round ~src ~dst
   else if t.spec.duplicate > 0.0 && uniform t ~round ~src ~dst ~salt:1 < t.spec.duplicate

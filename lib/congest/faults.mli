@@ -50,9 +50,6 @@ type t
     Raises [Dex_util.Invariant.Violation] if a probability is outside [0, 1]. *)
 val create : spec -> t
 
-(** [spec t] is the schedule [t] was created from. *)
-val spec : t -> spec
-
 (** [trace t] is every fault event recorded so far, in the order the
     kernel encountered them. *)
 val trace : t -> fault list
@@ -64,10 +61,6 @@ val drops : t -> int
 (** [duplicates t] counts duplicated deliveries. *)
 val duplicates : t -> int
 
-(** [reset t] clears the trace and counters, keeping the spec — the
-    deterministic decisions replay identically afterwards. *)
-val reset : t -> unit
-
 (** [set_observer t obs] installs a callback invoked on every recorded
     fault event, in addition to the trace. The structured-tracing
     bridge uses this: {!Network.create} registers an observer that
@@ -77,12 +70,19 @@ val reset : t -> unit
 val set_observer : t -> (fault -> unit) option -> unit
 
 (** [crashed t ~round ~vertex] is [true] when [vertex] has crash-stopped
-    by [round]. Records the [Crash] event on first observation. *)
-val crashed : t -> round:int -> vertex:int -> bool
+    by [round]. Records the [Crash] event on first observation. The
+    vertex is phantom-typed: it must be an id of the network this
+    schedule is attached to ({!Dex_graph.Vertex.local}). *)
+val crashed : t -> round:int -> vertex:Dex_graph.Vertex.local -> bool
 
 (** [verdict t ~round ~src ~dst] decides the fate of the message sent
     from [src] to [dst] in [round], recording the corresponding event.
     The CONGEST discipline guarantees at most one message per
     [(round, src, dst)], so the decision is well-defined and depends
     only on the seed and those coordinates. *)
-val verdict : t -> round:int -> src:int -> dst:int -> [ `Deliver | `Drop | `Duplicate ]
+val verdict :
+  t ->
+  round:int ->
+  src:Dex_graph.Vertex.local ->
+  dst:Dex_graph.Vertex.local ->
+  [ `Deliver | `Drop | `Duplicate ]

@@ -1,4 +1,5 @@
 module Graph = Dex_graph.Graph
+module Vertex = Dex_graph.Vertex
 module Trace = Dex_obs.Trace
 module Invariant = Dex_util.Invariant
 
@@ -21,22 +22,29 @@ type t = {
   ledger : Rounds.t;
   word_size : int;
   faults : Faults.t option;
-  vertex_map : int array option; (* local -> original-graph vertex ids *)
+  vertex_map : Vertex.Map.t option; (* local -> original-graph vertex ids *)
   trace : Trace.t option; (* cached from the ledger at creation *)
   mutable messages : int;
   mutable words : int;
 }
 
-type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (int * message) list
+type 's step =
+  round:int ->
+  vertex:Vertex.local ->
+  's ->
+  (int * message) list ->
+  's * (int * message) list
 
 let create ?(word_size = 1) ?faults ?vertex_map graph ledger =
   Invariant.require (word_size >= 1) ~where:"Network.create" "word_size must be >= 1";
   (match vertex_map with
-  | Some map when Array.length map <> Graph.num_vertices graph ->
+  | Some map when Vertex.Map.length map <> Graph.num_vertices graph ->
     Invariant.fail ~where:"Network.create" "vertex_map length must equal the vertex count"
   | _ -> ());
   let trace = Rounds.trace ledger in
-  let map v = match vertex_map with Some m -> m.(v) | None -> v in
+  let map v =
+    match vertex_map with Some m -> Vertex.orig_int (Vertex.Map.get m v) | None -> v
+  in
   (match (faults, trace) with
   | Some f, Some tr ->
     (* bridge every fault decision into the structured trace, in
@@ -66,6 +74,12 @@ let charge t ~label k = Rounds.charge t.ledger ~label k
 
 let top_edges t k = match t.trace with Some tr -> Trace.top_edges tr k | None -> []
 
+(* [orig t v] reports [v] in original-graph coordinates: violation
+   messages raised from deep inside a recursive decomposition must name
+   the vertex of the instance the caller actually built. *)
+let orig t v =
+  match t.vertex_map with Some m -> Vertex.orig_int (Vertex.Map.get m v) | None -> v
+
 let validate_outbox t v outbox =
   (* one message per incident edge: with simple graphs this is one per
      distinct neighbor; detect duplicates and non-neighbors. *)
@@ -75,15 +89,17 @@ let validate_outbox t v outbox =
       if Array.length msg > t.word_size then
         raise
           (Congestion_violation
-             (Printf.sprintf "vertex %d: message of %d words exceeds budget %d" v
+             (Printf.sprintf "vertex %d: message of %d words exceeds budget %d" (orig t v)
                 (Array.length msg) t.word_size));
       if not (Graph.mem_edge t.graph v u) || v = u then
         raise
-          (Congestion_violation (Printf.sprintf "vertex %d: %d is not a neighbor" v u));
+          (Congestion_violation
+             (Printf.sprintf "vertex %d: %d is not a neighbor" (orig t v) (orig t u)));
       if Hashtbl.mem seen u then
         raise
           (Congestion_violation
-             (Printf.sprintf "vertex %d: two messages on edge to %d in one round" v u));
+             (Printf.sprintf "vertex %d: two messages on edge to %d in one round" (orig t v)
+                (orig t u)));
       Hashtbl.replace seen u ())
     outbox
 
@@ -115,18 +131,19 @@ let exec_round t ~round states inboxes step =
       let prev = try Hashtbl.find loads e with Not_found -> 0 in
       Hashtbl.replace loads e (prev + 1)
     | None -> ());
+    (* dex-lint: allow C002 relays messages validate_outbox already checked against the budget *)
     next_inboxes.(dst) <- (src, msg) :: next_inboxes.(dst)
   in
   for v = 0 to n - 1 do
     let crashed =
       match t.faults with
-      | Some f -> Faults.crashed f ~round ~vertex:v
+      | Some f -> Faults.crashed f ~round ~vertex:(Vertex.local v)
       | None -> false
     in
     (* a crashed vertex executes no step, sends nothing and its inbox
        is lost (crash-stop) *)
     if not crashed then begin
-      let state', outbox = step ~round ~vertex:v states.(v) inboxes.(v) in
+      let state', outbox = step ~round ~vertex:(Vertex.local v) states.(v) inboxes.(v) in
       states.(v) <- state';
       validate_outbox t v outbox;
       List.iter
@@ -134,7 +151,7 @@ let exec_round t ~round states inboxes step =
           match t.faults with
           | None -> deliver v u msg
           | Some f ->
-            (match Faults.verdict f ~round ~src:v ~dst:u with
+            (match Faults.verdict f ~round ~src:(Vertex.local v) ~dst:(Vertex.local u) with
             | `Deliver -> deliver v u msg
             | `Drop -> ()
             | `Duplicate ->
@@ -145,7 +162,7 @@ let exec_round t ~round states inboxes step =
   done;
   (match stats with
   | Some { tr; loads; touched } ->
-    let map v = match t.vertex_map with Some m -> m.(v) | None -> v in
+    let map v = orig t v in
     let max_load = ref 0 in
     Dex_util.Table.iter_sorted
       (fun (u, v) c ->

@@ -55,14 +55,14 @@ type t
     [word_size] (default 1) is the per-message word budget. When
     [faults] is given, every executed round applies the schedule to
     deliveries and step execution. [vertex_map] translates local vertex
-    ids to original-graph ids for trace reporting (it must have exactly
-    one entry per vertex); {!Primitives.subnetwork} threads it
-    automatically. The trace handle, if any, is read from the ledger at
-    creation time — attach it first. *)
+    ids to original-graph ids for trace and error reporting (it must
+    have exactly one entry per vertex); {!Primitives.subnetwork}
+    threads it automatically. The trace handle, if any, is read from
+    the ledger at creation time — attach it first. *)
 val create :
   ?word_size:int ->
   ?faults:Faults.t ->
-  ?vertex_map:int array ->
+  ?vertex_map:Dex_graph.Vertex.Map.t ->
   Dex_graph.Graph.t ->
   Rounds.t ->
   t
@@ -85,7 +85,7 @@ val faults : t -> Faults.t option
 
 (** [vertex_map t] is the local-to-original vertex translation, if this
     network simulates an induced subgraph of a larger instance. *)
-val vertex_map : t -> int array option
+val vertex_map : t -> Dex_graph.Vertex.Map.t option
 
 (** [top_edges t k] is the [k] most-loaded edges (original-graph
     coordinates, cumulative deliveries, descending) from the attached
@@ -99,10 +99,16 @@ val top_edges : t -> int -> ((int * int) * int) list
 type message = int array
 
 (** Per-round behaviour of one vertex. Receives the current round
-    number (starting at 1), the vertex id, its state and its inbox
-    [(sender, message) list]; returns the new state and the outbox
-    [(neighbor, message) list]. *)
-type 's step = round:int -> vertex:int -> 's -> (int * message) list -> 's * (int * message) list
+    number (starting at 1), the vertex id (phantom-typed: it lives in
+    {e this} network's coordinate space — see {!Dex_graph.Vertex}), its
+    state and its inbox [(sender, message) list]; returns the new state
+    and the outbox [(neighbor, message) list]. *)
+type 's step =
+  round:int ->
+  vertex:Dex_graph.Vertex.local ->
+  's ->
+  (int * message) list ->
+  's * (int * message) list
 
 (** [run t ~label ~init ~step ~finished ?max_rounds ()] executes the
     protocol synchronously until [finished state_array] holds at a

@@ -1,4 +1,5 @@
 module Graph = Dex_graph.Graph
+module Vertex = Dex_graph.Vertex
 module Invariant = Dex_util.Invariant
 
 type tree = {
@@ -12,6 +13,7 @@ type tree = {
 type bfs_state = { dist : int; par : int; pending : bool }
 
 let bfs_tree net ~root =
+  let root = Vertex.local_int root in
   let g = Network.graph net in
   let n = Graph.num_vertices g in
   Invariant.require (root >= 0 && root < n) ~where:"Primitives.bfs_tree" "root out of range";
@@ -20,6 +22,7 @@ let bfs_tree net ~root =
     else { dist = max_int; par = -1; pending = false }
   in
   let step ~round:_ ~vertex:v st inbox =
+    let v = Vertex.local_int v in
     (* adopt the smallest advertised distance on first contact *)
     let st =
       if st.dist = max_int then
@@ -56,6 +59,7 @@ let elect_leader net =
   let g = Network.graph net in
   let init v = { best = v; fresh = true } in
   let step ~round:_ ~vertex:v st inbox =
+    let v = Vertex.local_int v in
     let best =
       List.fold_left (fun acc (_, msg) -> min acc msg.(0)) st.best inbox
     in
@@ -98,11 +102,12 @@ let pipelined_broadcast net tree ~label ~words =
 let subnetwork net members =
   let g = Network.graph net in
   let sub, mapping = Graph.induced_subgraph g members in
+  let mapping = Vertex.Map.of_array mapping in
   (* compose vertex maps so nested subnetworks still report trace
      metrics (hot edges, fault events) in original-graph coordinates *)
   let vertex_map =
     match Network.vertex_map net with
     | None -> mapping
-    | Some outer -> Array.map (fun v -> outer.(v)) mapping
+    | Some outer -> Vertex.Map.compose ~outer mapping
   in
   (Network.create ~vertex_map sub (Network.rounds net), mapping)

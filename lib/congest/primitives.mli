@@ -16,8 +16,9 @@ type tree = {
 }
 
 (** [bfs_tree net ~root] floods from [root] (executed protocol;
-    rounds measured and charged under ["bfs"]). *)
-val bfs_tree : Network.t -> root:int -> tree
+    rounds measured and charged under ["bfs"]). [root] is a vertex of
+    {e this} network's coordinate space ({!Dex_graph.Vertex.local}). *)
+val bfs_tree : Network.t -> root:Dex_graph.Vertex.local -> tree
 
 (** [elect_leader net] floods minimum vertex id (executed protocol,
     charged under ["leader"]); returns per-vertex leader array —
@@ -45,6 +46,9 @@ val pipelined_broadcast : Network.t -> tree -> label:string -> words:int -> unit
 
 (** [subnetwork net members] is a network on the induced subgraph
     [G\[members\]] sharing [net]'s ledger; returns the new network and
-    the map from sub-vertex ids to [net] ids. Communication inside a
+    the typed map from sub-vertex ids to [net] ids. The subnetwork's
+    own [vertex_map] (used for trace and violation reporting) is the
+    composition with [net]'s map, so metrics stay in original-instance
+    coordinates however deep the recursion. Communication inside a
     cluster of a decomposition runs on such subnetworks. *)
-val subnetwork : Network.t -> int array -> Network.t * int array
+val subnetwork : Network.t -> int array -> Network.t * Dex_graph.Vertex.Map.t

@@ -80,6 +80,7 @@ let flood net ~label ~config ~delta ~init_value ~init_parent ~announce ?max_roun
     { value; parent = init_parent v; peers }
   in
   let step ~round ~vertex:v st inbox =
+    let v = Dex_graph.Vertex.local_int v in
     cur_round := round;
     List.iter
       (fun (sender, (msg : Network.message)) ->
@@ -138,7 +139,8 @@ let flood net ~label ~config ~delta ~init_value ~init_parent ~announce ?max_roun
   let live v =
     match Network.faults net with
     | None -> true
-    | Some f -> not (Faults.crashed f ~round:(!cur_round + 1) ~vertex:v)
+    | Some f ->
+      not (Faults.crashed f ~round:(!cur_round + 1) ~vertex:(Dex_graph.Vertex.local v))
   in
   let finished states =
     let quiet st =
@@ -156,6 +158,7 @@ let flood net ~label ~config ~delta ~init_value ~init_parent ~announce ?max_roun
   (states, rounds)
 
 let bfs_tree ?(config = default_config) ?max_rounds net ~root =
+  let root = Dex_graph.Vertex.local_int root in
   let g = Network.graph net in
   let n = Graph.num_vertices g in
   Invariant.require (root >= 0 && root < n) ~where:"Reliable.bfs_tree" "root out of range";

@@ -56,7 +56,9 @@ val value_limit : int
     depths equal true BFS distances under arbitrary message loss
     (rounds charged under ["bfs-reliable"]). Vertices unreachable
     through surviving edges keep depth [max_int]. *)
-val bfs_tree : ?config:config -> ?max_rounds:int -> Network.t -> root:int -> Primitives.tree
+val bfs_tree :
+  ?config:config -> ?max_rounds:int -> Network.t -> root:Dex_graph.Vertex.local ->
+  Primitives.tree
 
 (** [elect_leader ?config ?max_rounds net] floods the minimum vertex id
     with reliable delivery (charged under ["leader-reliable"]);

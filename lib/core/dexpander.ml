@@ -20,6 +20,7 @@ module Stats = Dex_util.Stats
 module Table = Dex_util.Table
 module Invariant = Dex_util.Invariant
 module Graph = Dex_graph.Graph
+module Vertex = Dex_graph.Vertex
 module Metrics = Dex_graph.Metrics
 module Generators = Dex_graph.Generators
 module Graph_io = Dex_graph.Graph_io

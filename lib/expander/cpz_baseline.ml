@@ -1,4 +1,5 @@
 module Graph = Dex_graph.Graph
+module Vertex = Dex_graph.Vertex
 module Metrics = Dex_graph.Metrics
 module Params = Dex_sparsecut.Params
 module Partition = Dex_sparsecut.Partition
@@ -73,8 +74,9 @@ let run ?(preset = Params.Practical) ~delta ~epsilon g rng =
     if Array.length members = 0 then []
     else begin
       let sub, mapping = Graph.induced_subgraph g members in
+      let mapping = Vertex.Map.of_array mapping in
       Metrics.connected_components sub
-      |> List.map (fun comp -> Array.map (fun v -> mapping.(v)) comp)
+      |> List.map (Vertex.Map.translate mapping)
     end
   in
   let work = Queue.create () in
@@ -114,7 +116,7 @@ let run ?(preset = Params.Practical) ~delta ~epsilon g rng =
           parts := members :: !parts
         else begin
           removed := !removed + Metrics.cut_size sub cut;
-          let cut_orig = Array.map (fun v -> mapping.(v)) cut in
+          let cut_orig = Vertex.Map.translate (Vertex.Map.of_array mapping) cut in
           Array.sort compare cut_orig;
           let mask = Hashtbl.create (2 * Array.length cut_orig) in
           Array.iter (fun v -> Hashtbl.replace mask v ()) cut_orig;

@@ -1,4 +1,5 @@
 module Graph = Dex_graph.Graph
+module Vertex = Dex_graph.Vertex
 module Metrics = Dex_graph.Metrics
 module Params = Dex_sparsecut.Params
 module Partition = Dex_sparsecut.Partition
@@ -85,7 +86,7 @@ let sparse_cut_on d ~phi members =
       (`Empty, rounds)
     end
     else begin
-      let original = Array.map (fun v -> mapping.(v)) cut in
+      let original = Vertex.Map.translate (Vertex.Map.of_array mapping) cut in
       Array.sort compare original;
       (* conductance is min-side normalized, so the returned set may be
          the large side of the cut; the removal/recursion logic always
@@ -210,6 +211,7 @@ let run ?(preset = Params.Practical) ?ledger ~epsilon ~k g rng =
                     if Array.length members > 1 then begin
                       (* Step 1: low-diameter decomposition of G{U}; Remove-1 *)
                       let gu, mapping = Graph.saturated_subgraph d.current members in
+                      let mapping = Vertex.Map.of_array mapping in
                       let ldd =
                         Ldd.run_graph ?ledger:d.ledger ~vertex_map:mapping gu
                           ~beta:schedule.Schedule.beta d.rng
@@ -217,17 +219,11 @@ let run ?(preset = Params.Practical) ?ledger ~epsilon ~k g rng =
                       d.messages <- d.messages + ldd.Ldd.messages;
                       d.words <- d.words + ldd.Ldd.words;
                       let ldd_cut =
-                        List.map
-                          (fun (u, v) ->
-                            let a = mapping.(u) and b = mapping.(v) in
-                            (min a b, max a b))
-                          ldd.Ldd.cut_edges
+                        List.map (Vertex.Map.translate_edge mapping) ldd.Ldd.cut_edges
                       in
                       remove_edges_tracked d `Remove1 ldd_cut;
                       let clusters =
-                        List.map
-                          (fun part -> Array.map (fun v -> mapping.(v)) part)
-                          ldd.Ldd.parts
+                        List.map (Vertex.Map.translate mapping) ldd.Ldd.parts
                       in
                       (* Step 2: sparse cut per cluster; clusters run concurrently *)
                       let cluster_cost = ref 0 in

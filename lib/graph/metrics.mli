@@ -19,9 +19,6 @@ val complement : Graph.t -> int array -> int array
     Self-loops never cross. *)
 val cut_size : Graph.t -> int array -> int
 
-(** [cut_size_mask g mask] is [cut_size] on a membership mask. *)
-val cut_size_mask : Graph.t -> bool array -> int
-
 (** [conductance g s] = Φ(S). Returns [infinity] when either side has
     zero volume (the cut is degenerate). *)
 val conductance : Graph.t -> int array -> float

@@ -1,0 +1,25 @@
+type local = int
+type orig = int
+
+let local v = v
+let orig v = v
+let local_int v = v
+let orig_int v = v
+
+module Map = struct
+  type t = int array
+
+  let of_array a = a
+  let to_array a = a
+  let length = Array.length
+  let apply m v = m.(v)
+  let get m v = m.(v)
+
+  let compose ~outer inner = Array.map (fun v -> outer.(v)) inner
+
+  let translate m vs = Array.map (fun v -> m.(v)) vs
+
+  let translate_edge m (u, v) =
+    let a = m.(u) and b = m.(v) in
+    (min a b, max a b)
+end

@@ -30,6 +30,7 @@ let run net ~beta rng =
   in
   let init v = { start_epoch = starts.(v); cluster = -1; announced = false } in
   let step ~round ~vertex:v st inbox =
+    let v = Dex_graph.Vertex.local_int v in
     let st =
       if st.cluster >= 0 then st
       else if st.start_epoch = round then { st with cluster = v }

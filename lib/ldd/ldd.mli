@@ -37,7 +37,7 @@ val run :
     mapping from the induced subgraph when decomposing a component. *)
 val run_graph :
   ?ka:float -> ?kb:float ->
-  ?ledger:Dex_congest.Rounds.t -> ?vertex_map:int array ->
+  ?ledger:Dex_congest.Rounds.t -> ?vertex_map:Dex_graph.Vertex.Map.t ->
   Dex_graph.Graph.t -> beta:float -> Dex_util.Rng.t -> t
 
 (** [max_part_diameter g t] is the largest part diameter. *)

@@ -30,9 +30,6 @@ type t = {
     graph and V_D degenerates to V (a valid but trivial output). *)
 val run : ?ka:float -> ?kb:float -> Dex_graph.Graph.t -> beta:float -> t
 
-(** [vd_components g t] lists the connected components of V_D. *)
-val vd_components : Dex_graph.Graph.t -> t -> int array list
-
 (** [check g t] verifies the two output conditions (component
     separation > a would need all-pairs distances, so we verify the
     per-component diameter O(ab) bound and the V_S ball-density

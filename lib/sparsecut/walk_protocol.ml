@@ -20,6 +20,7 @@ let run net ~src ~eps ~steps =
   let truncate v x = if x >= 2.0 *. eps *. float_of_int (Graph.degree g v) then x else 0.0 in
   let init v = { mass = (if v = src then 1.0 else 0.0); kept = 0.0 } in
   let step ~round ~vertex:v st inbox =
+    let v = Dex_graph.Vertex.local_int v in
     (* complete step (round - 1): collect shares sent last round *)
     let arrived = List.fold_left (fun acc (_, msg) -> acc +. decode msg) 0.0 inbox in
     let mass = if round = 1 then st.mass else truncate v (st.kept +. arrived) in

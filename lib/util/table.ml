@@ -68,5 +68,4 @@ let fmt_float x =
   else if Float.abs x >= 1.0 then Printf.sprintf "%.3f" x
   else Printf.sprintf "%.5f" x
 
-let fmt_int = string_of_int
 let fmt_pct x = Printf.sprintf "%.2f%%" (100.0 *. x)

@@ -52,5 +52,4 @@ val print : t -> unit
 (** Formatting helpers shared by the bench harness. *)
 
 val fmt_float : float -> string
-val fmt_int : int -> string
 val fmt_pct : float -> string

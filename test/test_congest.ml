@@ -5,6 +5,7 @@
 module Graph = Dex_graph.Graph
 module Metrics = Dex_graph.Metrics
 module Gen = Dex_graph.Generators
+module Vertex = Dex_graph.Vertex
 module Rounds = Dex_congest.Rounds
 module Network = Dex_congest.Network
 module Primitives = Dex_congest.Primitives
@@ -47,6 +48,7 @@ let test_basic_exchange () =
   let g = Gen.cycle 5 in
   let net = fresh_net g in
   let step ~round ~vertex st inbox =
+    let vertex = Vertex.local_int vertex in
     if round = 1 then
       let out = ref [] in
       Graph.iter_neighbors g vertex (fun u -> out := (u, [| vertex + 100 |]) :: !out);
@@ -76,6 +78,7 @@ let test_rejects_non_neighbor () =
       Network.run_rounds net ~label:"bad"
         ~init:(fun _ -> ())
         ~step:(fun ~round:_ ~vertex st _ ->
+          let vertex = Vertex.local_int vertex in
           if vertex = 0 then (st, [ (2, [| 1 |]) ]) else (st, []))
         1)
 
@@ -86,6 +89,7 @@ let test_rejects_double_send () =
       Network.run_rounds net ~label:"bad"
         ~init:(fun _ -> ())
         ~step:(fun ~round:_ ~vertex st _ ->
+          let vertex = Vertex.local_int vertex in
           if vertex = 0 then (st, [ (1, [| 1 |]); (1, [| 2 |]) ]) else (st, []))
         1)
 
@@ -96,6 +100,7 @@ let test_rejects_oversized_message () =
       Network.run_rounds net ~label:"bad"
         ~init:(fun _ -> ())
         ~step:(fun ~round:_ ~vertex st _ ->
+          let vertex = Vertex.local_int vertex in
           if vertex = 0 then (st, [ (1, [| 1; 2; 3 |]) ]) else (st, []))
         1)
 
@@ -106,6 +111,7 @@ let test_rejects_self_message () =
       Network.run_rounds net ~label:"bad"
         ~init:(fun _ -> ())
         ~step:(fun ~round:_ ~vertex st _ ->
+          let vertex = Vertex.local_int vertex in
           if vertex = 0 then (st, [ (0, [| 1 |]) ]) else (st, []))
         1)
 
@@ -133,7 +139,7 @@ let test_bfs_tree_matches_metrics () =
   let rng = Rng.create 12 in
   let g = Gen.connectivize rng (Gen.gnp rng ~n:40 ~p:0.08) in
   let net = fresh_net g in
-  let tree = Primitives.bfs_tree net ~root:0 in
+  let tree = Primitives.bfs_tree net ~root:(Vertex.local 0) in
   let reference = Metrics.bfs_distances g 0 in
   Alcotest.(check (array int)) "depths equal BFS distances" reference tree.Primitives.depth;
   Alcotest.(check int) "root parent" 0 tree.Primitives.parent.(0);
@@ -150,7 +156,7 @@ let test_bfs_tree_matches_metrics () =
 let test_bfs_tree_partial_component () =
   let g = Graph.of_edges ~n:5 [ (0, 1); (1, 2) ] in
   let net = fresh_net g in
-  let tree = Primitives.bfs_tree net ~root:0 in
+  let tree = Primitives.bfs_tree net ~root:(Vertex.local 0) in
   Alcotest.(check int) "component size" 3 (Array.length tree.Primitives.members);
   Alcotest.(check int) "outside parent" (-1) tree.Primitives.parent.(4)
 
@@ -165,10 +171,14 @@ let test_leader_election () =
 let test_convergecast () =
   let g = Gen.path 8 in
   let net = fresh_net g in
-  let tree = Primitives.bfs_tree net ~root:0 in
+  let tree = Primitives.bfs_tree net ~root:(Vertex.local 0) in
   let values = Array.init 8 (fun i -> i) in
   Alcotest.(check int) "sum" 28 (Primitives.convergecast_sum net tree ~label:"sum" values);
   Alcotest.(check int) "min" 0 (Primitives.convergecast_min net tree ~label:"min" values);
+  let before = Rounds.total (Network.rounds net) in
+  Primitives.broadcast net tree ~label:"bcast";
+  Alcotest.(check int) "broadcast cost" (before + tree.Primitives.height)
+    (Rounds.total (Network.rounds net));
   let before = Rounds.total (Network.rounds net) in
   Primitives.pipelined_broadcast net tree ~label:"pipe" ~words:5;
   Alcotest.(check int) "pipelined cost" (before + tree.Primitives.height + 5)
@@ -179,10 +189,34 @@ let test_subnetwork () =
   let net = fresh_net g in
   let sub, mapping = Primitives.subnetwork net [| 0; 1; 2 |] in
   Alcotest.(check int) "sub size" 3 (Graph.num_vertices (Network.graph sub));
-  Alcotest.(check (array int)) "mapping" [| 0; 1; 2 |] mapping;
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 2 |] (Vertex.Map.to_array mapping);
+  Alcotest.(check int) "apply translates one id" (Vertex.orig_int (Vertex.orig 2))
+    (Vertex.orig_int (Vertex.Map.apply mapping (Vertex.local 2)));
   (* shared ledger *)
   Network.charge sub ~label:"x" 4;
   Alcotest.(check int) "ledger shared" 4 (Rounds.total (Network.rounds net))
+
+let test_subnetwork_violation_reports_original_id () =
+  (* an oversized message inside a subnetwork must be reported in the
+     original graph's coordinates, not the subnetwork-local ones *)
+  let g = Gen.cycle 6 in
+  let net = fresh_net ~word_size:1 g in
+  let sub, _mapping = Primitives.subnetwork net [| 3; 4; 5 |] in
+  (match
+     Network.run_rounds sub ~label:"bad"
+       ~init:(fun _ -> ())
+       ~step:(fun ~round:_ ~vertex st _ ->
+         let vertex = Vertex.local_int vertex in
+         if vertex = 0 then (st, [ (1, [| 1; 2 |]) ]) else (st, []))
+       1
+   with
+  | exception Network.Congestion_violation msg ->
+    (* local vertex 0 is original vertex 3 *)
+    Alcotest.(check bool)
+      (Printf.sprintf "mentions original id 3: %S" msg)
+      true
+      (String.length msg >= 8 && String.sub msg 0 8 = "vertex 3")
+  | _ -> Alcotest.fail "expected Congestion_violation")
 
 (* ---------- congested clique ---------- *)
 
@@ -193,6 +227,7 @@ let test_clique_exchange () =
   let ledger = Rounds.create () in
   let clq = Clique.create ~n:5 ledger in
   let step ~round ~vertex st inbox =
+    let vertex = Vertex.local_int vertex in
     if round = 1 then
       (st, List.filter_map (fun u -> if u = vertex then None else Some (u, [| vertex |]))
              (List.init 5 (fun i -> i)))
@@ -214,16 +249,19 @@ let test_clique_rejects_self_and_double () =
   expect (fun () ->
       Clique.run_rounds (mk ()) ~label:"bad" ~init:(fun _ -> ())
         ~step:(fun ~round:_ ~vertex st _ ->
+          let vertex = Vertex.local_int vertex in
           if vertex = 0 then (st, [ (0, [| 1 |]) ]) else (st, []))
         1);
   expect (fun () ->
       Clique.run_rounds (mk ()) ~label:"bad" ~init:(fun _ -> ())
         ~step:(fun ~round:_ ~vertex st _ ->
+          let vertex = Vertex.local_int vertex in
           if vertex = 0 then (st, [ (1, [| 1 |]); (1, [| 2 |]) ]) else (st, []))
         1);
   expect (fun () ->
       Clique.run_rounds (mk ()) ~label:"bad" ~init:(fun _ -> ())
         ~step:(fun ~round:_ ~vertex st _ ->
+          let vertex = Vertex.local_int vertex in
           if vertex = 0 then (st, [ (1, [| 1; 2 |]) ]) else (st, []))
         1)
 
@@ -234,7 +272,7 @@ let prop_bfs_depth_eq_distance =
       let rng = Rng.create seed in
       let g = Gen.connectivize rng (Gen.gnp rng ~n ~p:0.15) in
       let net = fresh_net g in
-      let tree = Primitives.bfs_tree net ~root:(seed mod n) in
+      let tree = Primitives.bfs_tree net ~root:(Vertex.local (seed mod n)) in
       tree.Primitives.depth = Metrics.bfs_distances g (seed mod n))
 
 let () =
@@ -253,6 +291,8 @@ let () =
           Alcotest.test_case "leader election" `Quick test_leader_election;
           Alcotest.test_case "convergecast" `Quick test_convergecast;
           Alcotest.test_case "subnetwork" `Quick test_subnetwork;
+          Alcotest.test_case "subnetwork violation original ids" `Quick
+            test_subnetwork_violation_reports_original_id;
           QCheck_alcotest.to_alcotest prop_bfs_depth_eq_distance ] );
       ( "clique",
         [ Alcotest.test_case "all-to-all exchange" `Quick test_clique_exchange;

@@ -78,7 +78,7 @@ let small_expander seed = Gen.random_regular (Rng.create seed) ~n:24 ~d:4
 
 let test_bfs_conformant () =
   let g = small_expander 50 in
-  let r = Conformance.check g ~protocol:(Conformance.bfs ~root:0 g) () in
+  let r = Conformance.check g ~protocol:(Conformance.bfs ~root:(Dex_graph.Vertex.local 0) g) () in
   Alcotest.(check bool)
     (String.concat "; " (List.map Conformance.describe r.Conformance.violations))
     true (Conformance.ok r);
@@ -103,6 +103,7 @@ type racy_state = { got : int; sent : bool }
 let racy_protocol g () =
   let init _ = { got = -1; sent = false } in
   let step ~round:_ ~vertex:v st inbox =
+    let v = Dex_graph.Vertex.local_int v in
     let st =
       match inbox with
       | (sender, _) :: _ when st.got < 0 -> { st with got = sender }
@@ -128,6 +129,7 @@ let test_race_detected () =
 let one_shot per_vertex () =
   let init _ = false in
   let step ~round:_ ~vertex:v sent _inbox =
+    let v = Dex_graph.Vertex.local_int v in
     if sent then (true, []) else (true, per_vertex v)
   in
   let finished states = Array.for_all Fun.id states in
@@ -135,6 +137,7 @@ let one_shot per_vertex () =
 
 let test_word_budget_audited () =
   let g = small_expander 53 in
+  (* dex-lint: allow C001 deliberately over budget to exercise the audit *)
   let wide v = [ ((Graph.neighbors g v).(0), [| v; v |]) ] in
   let r = Conformance.check ~word_size:1 g ~protocol:(one_shot wide) () in
   Alcotest.(check bool) "over-budget message reported" true

@@ -7,6 +7,7 @@
 module Graph = Dex_graph.Graph
 module Metrics = Dex_graph.Metrics
 module Gen = Dex_graph.Generators
+module Vertex = Dex_graph.Vertex
 module Rounds = Dex_congest.Rounds
 module Network = Dex_congest.Network
 module Faults = Dex_congest.Faults
@@ -25,7 +26,7 @@ let run_lossy_bfs spec =
   let rng = Rng.create 5 in
   let g = Gen.connectivize rng (Gen.gnp rng ~n:30 ~p:0.12) in
   let net, faults = lossy_net ~spec g in
-  let tree = Reliable.bfs_tree net ~root:0 in
+  let tree = Reliable.bfs_tree net ~root:(Vertex.local 0) in
   (tree.Primitives.depth, Faults.trace faults, Faults.drops faults,
    Rounds.total (Network.rounds net), Network.messages_sent net)
 
@@ -46,9 +47,9 @@ let test_zero_probability_is_fault_free () =
   let rng = Rng.create 6 in
   let g = Gen.connectivize rng (Gen.gnp rng ~n:25 ~p:0.15) in
   let plain = Network.create g (Rounds.create ()) in
-  let reference = Primitives.bfs_tree plain ~root:0 in
+  let reference = Primitives.bfs_tree plain ~root:(Vertex.local 0) in
   let net, faults = lossy_net ~spec:(Faults.lossy ~drop:0.0 ~seed:7 ()) g in
-  let tree = Reliable.bfs_tree net ~root:0 in
+  let tree = Reliable.bfs_tree net ~root:(Vertex.local 0) in
   Alcotest.(check (array int)) "depths" reference.Primitives.depth tree.Primitives.depth;
   Alcotest.(check int) "no drops" 0 (Faults.drops faults);
   Alcotest.(check bool) "empty trace" true (Faults.trace faults = [])
@@ -59,7 +60,7 @@ let test_reliable_bfs_under_drops () =
   let rng = Rng.create 8 in
   let g = Gen.connectivize rng (Gen.gnp rng ~n:40 ~p:0.1) in
   let net, faults = lossy_net ~spec:(Faults.lossy ~drop:0.2 ~duplicate:0.1 ~seed:3 ()) g in
-  let tree = Reliable.bfs_tree net ~root:0 in
+  let tree = Reliable.bfs_tree net ~root:(Vertex.local 0) in
   Alcotest.(check (array int)) "depths equal BFS distances"
     (Metrics.bfs_distances g 0) tree.Primitives.depth;
   Alcotest.(check bool) "faults actually fired" true (Faults.drops faults > 0)
@@ -68,7 +69,7 @@ let test_reliable_bfs_fault_free_matches () =
   let rng = Rng.create 9 in
   let g = Gen.connectivize rng (Gen.gnp rng ~n:30 ~p:0.12) in
   let net = Network.create g (Rounds.create ()) in
-  let tree = Reliable.bfs_tree net ~root:3 in
+  let tree = Reliable.bfs_tree net ~root:(Vertex.local 3) in
   Alcotest.(check (array int)) "depths" (Metrics.bfs_distances g 3) tree.Primitives.depth;
   Alcotest.(check int) "root parent" 3 tree.Primitives.parent.(3);
   Array.iteri
@@ -91,14 +92,21 @@ let test_reliable_rounds_overhead_charged () =
   let rng = Rng.create 12 in
   let g = Gen.connectivize rng (Gen.gnp rng ~n:40 ~p:0.1) in
   let base = Network.create g (Rounds.create ()) in
-  let _ = Reliable.bfs_tree base ~root:0 in
+  let _ = Reliable.bfs_tree base ~root:(Vertex.local 0) in
   let base_rounds = List.assoc "bfs-reliable" (Rounds.by_phase (Network.rounds base)) in
   let net, _ = lossy_net ~spec:(Faults.lossy ~drop:0.3 ~seed:13 ()) g in
-  let _ = Reliable.bfs_tree net ~root:0 in
+  let _ = Reliable.bfs_tree net ~root:(Vertex.local 0) in
   let lossy_rounds = List.assoc "bfs-reliable" (Rounds.by_phase (Network.rounds net)) in
   Alcotest.(check bool)
     (Printf.sprintf "lossy %d >= fault-free %d" lossy_rounds base_rounds)
     true (lossy_rounds >= base_rounds)
+
+let test_value_limit_packs_two_per_word () =
+  (* the packing contract behind reliable delivery: two payload values
+     plus an ack bit per machine word *)
+  Alcotest.(check bool) "positive" true (Reliable.value_limit > 0);
+  Alcotest.(check bool) "two values + ack fit one word" true
+    (Reliable.value_limit <= 1 lsl 30)
 
 (* ---------- permanent link failures ---------- *)
 
@@ -108,7 +116,7 @@ let test_link_failure_fails_delivery () =
   let faults = Faults.create spec in
   let net = Network.create ~faults g (Rounds.create ()) in
   let config = { Reliable.max_retries = 5; Reliable.give_up = false } in
-  (match Reliable.bfs_tree ~config net ~root:0 with
+  (match Reliable.bfs_tree ~config net ~root:(Vertex.local 0) with
   | exception Reliable.Delivery_failed { vertex; neighbor; attempts; _ } ->
     Alcotest.(check int) "failing vertex" 1 vertex;
     Alcotest.(check int) "unreachable neighbor" 2 neighbor;
@@ -127,7 +135,7 @@ let test_link_failure_give_up_partitions () =
   let spec = { Faults.none with Faults.link_failures = [ ((1, 2), 1) ]; Faults.seed = 1 } in
   let net = Network.create ~faults:(Faults.create spec) g (Rounds.create ()) in
   let config = { Reliable.max_retries = 4; Reliable.give_up = true } in
-  let tree = Reliable.bfs_tree ~config net ~root:0 in
+  let tree = Reliable.bfs_tree ~config net ~root:(Vertex.local 0) in
   Alcotest.(check (array int)) "vertex 2 unreachable" [| 0; 1; max_int |] tree.Primitives.depth;
   Alcotest.(check (array int)) "members" [| 0; 1 |] tree.Primitives.members
 
@@ -139,7 +147,7 @@ let test_crash_stop () =
   let faults = Faults.create spec in
   let net = Network.create ~faults g (Rounds.create ()) in
   let config = { Reliable.max_retries = 4; Reliable.give_up = true } in
-  let tree = Reliable.bfs_tree ~config net ~root:0 in
+  let tree = Reliable.bfs_tree ~config net ~root:(Vertex.local 0) in
   Alcotest.(check (array int)) "crashed vertex outside tree"
     [| 0; 1; 2; max_int |] tree.Primitives.depth;
   Alcotest.(check bool) "crash event recorded" true
@@ -159,6 +167,7 @@ let test_validation_precedes_faults () =
      Network.run_rounds net ~label:"bad"
        ~init:(fun _ -> ())
        ~step:(fun ~round:_ ~vertex st _ ->
+         let vertex = Vertex.local_int vertex in
          if vertex = 0 then (st, [ (1, [| 1 |]); (1, [| 2 |]) ]) else (st, []))
        1
    with
@@ -170,6 +179,7 @@ let test_drop_everything_counts () =
   let faults = Faults.create (Faults.lossy ~drop:1.0 ~seed:3 ()) in
   let net = Network.create ~faults g (Rounds.create ()) in
   let step ~round ~vertex st _ =
+    let vertex = Vertex.local_int vertex in
     if round = 1 then begin
       let out = ref [] in
       Graph.iter_neighbors g vertex (fun u -> out := (u, [| vertex |]) :: !out);
@@ -186,6 +196,7 @@ let test_duplicates_counted () =
   let faults = Faults.create (Faults.lossy ~drop:0.0 ~duplicate:1.0 ~seed:4 ()) in
   let net = Network.create ~faults g (Rounds.create ()) in
   let step ~round ~vertex st _ =
+    let vertex = Vertex.local_int vertex in
     if round = 1 && vertex = 0 then (st, [ (1, [| 7 |]) ]) else (st, [])
   in
   let _ = Network.run_rounds net ~label:"dup" ~init:(fun _ -> 0) ~step 2 in
@@ -202,7 +213,7 @@ let prop_reliable_bfs_under_loss =
       let g = Gen.connectivize rng (Gen.gnp rng ~n ~p:0.15) in
       let faults = Faults.create (Faults.lossy ~drop:0.15 ~duplicate:0.05 ~seed ()) in
       let net = Network.create ~faults g (Rounds.create ()) in
-      let tree = Reliable.bfs_tree net ~root:(seed mod n) in
+      let tree = Reliable.bfs_tree net ~root:(Vertex.local (seed mod n)) in
       tree.Primitives.depth = Metrics.bfs_distances g (seed mod n))
 
 let () =
@@ -217,6 +228,7 @@ let () =
           Alcotest.test_case "bfs fault-free" `Quick test_reliable_bfs_fault_free_matches;
           Alcotest.test_case "leader under drops" `Quick test_reliable_leader_under_drops;
           Alcotest.test_case "overhead charged" `Quick test_reliable_rounds_overhead_charged;
+          Alcotest.test_case "value_limit packing" `Quick test_value_limit_packs_two_per_word;
           QCheck_alcotest.to_alcotest prop_reliable_bfs_under_loss ] );
       ( "failures",
         [ Alcotest.test_case "link failure raises" `Quick test_link_failure_fails_delivery;

@@ -162,6 +162,26 @@ let test_degeneracy () =
   Alcotest.(check int) "cycle degeneracy" 2 (Metrics.degeneracy (Gen.cycle 8));
   Alcotest.(check int) "grid degeneracy" 2 (Metrics.degeneracy (Gen.grid 5 5))
 
+let test_sparse_cut_predicate () =
+  (* one barbell bridge: conductance of a side is tiny, a single
+     vertex of K5 is not sparse *)
+  let g = Gen.barbell ~clique:5 ~bridge:0 in
+  let side = Array.init 5 (fun i -> i) in
+  Alcotest.(check bool) "bridge side is a 0.2-sparse cut" true
+    (Metrics.is_sparse_cut g ~phi:0.2 side);
+  Alcotest.(check bool) "single K5 vertex is not" false
+    (Metrics.is_sparse_cut g ~phi:0.2 [| 1 |])
+
+let test_arboricity_bound () =
+  (* arboricity(K5) = 3 <= bound = degeneracy = 4; trees have bound 1 *)
+  Alcotest.(check int) "K5" 4 (Metrics.arboricity_upper_bound (Gen.complete 5));
+  Alcotest.(check int) "tree" 1 (Metrics.arboricity_upper_bound (Gen.binary_tree 4))
+
+let test_fold_vertices_sums_degrees () =
+  let g = triangle_plus_pendant () in
+  let handshake = Graph.fold_vertices g 0 (fun acc v -> acc + Graph.degree g v) in
+  Alcotest.(check int) "handshake lemma" (2 * Graph.num_edges g) handshake
+
 let test_partition_checks () =
   let g = Gen.path 4 in
   Metrics.check_partition g [ [| 0; 1 |]; [| 2; 3 |] ];
@@ -252,6 +272,20 @@ let test_io_roundtrip () =
     Alcotest.(check int) "degree" (Graph.degree g v) (Graph.degree g2 v)
   done
 
+let test_io_file_roundtrip () =
+  let g = triangle_plus_pendant () in
+  let path = Filename.temp_file "dex_graph" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save path g;
+      let g2 = Io.load path in
+      Alcotest.(check int) "n" (Graph.num_vertices g) (Graph.num_vertices g2);
+      Alcotest.(check int) "m" (Graph.num_edges g) (Graph.num_edges g2);
+      for v = 0 to 3 do
+        Alcotest.(check int) "degree" (Graph.degree g v) (Graph.degree g2 v)
+      done)
+
 let test_io_parse_features () =
   let g = Io.parse "# header\nn 5\n0 1\n1\t2\n\n3 3\n" in
   Alcotest.(check int) "n declared" 5 (Graph.num_vertices g);
@@ -299,10 +333,14 @@ let () =
           Alcotest.test_case "bfs & diameter" `Quick test_bfs_and_diameter;
           Alcotest.test_case "multi-source bfs" `Quick test_multi_source_bfs;
           Alcotest.test_case "degeneracy" `Quick test_degeneracy;
+          Alcotest.test_case "sparse-cut predicate" `Quick test_sparse_cut_predicate;
+          Alcotest.test_case "arboricity bound" `Quick test_arboricity_bound;
+          Alcotest.test_case "fold_vertices" `Quick test_fold_vertices_sums_degrees;
           Alcotest.test_case "partition checks" `Quick test_partition_checks;
           Alcotest.test_case "subset diameter" `Quick test_subset_diameter ] );
       ( "serialization",
         [ Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
           Alcotest.test_case "parse features" `Quick test_io_parse_features;
           Alcotest.test_case "errors" `Quick test_io_errors;
           QCheck_alcotest.to_alcotest prop_io_roundtrip ] );

@@ -153,6 +153,17 @@ let test_refine_vs_density () =
 
 (* ---------- end-to-end LDD ---------- *)
 
+let test_ldd_run_on_network () =
+  (* the distributed entry point: same algorithm, rounds charged to
+     the caller's network ledger *)
+  let rng = Rng.create 5 in
+  let g = Gen.cycle 4_000 in
+  let net = net_of g in
+  let r = Ldd.run net ~beta:0.6 rng in
+  Metrics.check_partition g r.Ldd.parts;
+  Alcotest.(check int) "rounds charged to the network ledger" r.Ldd.rounds
+    (Rounds.total (Network.rounds net))
+
 let test_ldd_partition_and_diameter () =
   (* at the paper's constants the far ball saturates unless the graph
      is long enough: a 20000-cycle at beta = 0.6 puts every vertex in
@@ -242,7 +253,8 @@ let () =
             test_refine_low_diameter_graph_all_vd;
           Alcotest.test_case "V_S density" `Quick test_refine_vs_density ] );
       ( "end-to-end",
-        [ Alcotest.test_case "partition & diameter" `Quick test_ldd_partition_and_diameter;
+        [ Alcotest.test_case "run on a network" `Quick test_ldd_run_on_network;
+          Alcotest.test_case "partition & diameter" `Quick test_ldd_partition_and_diameter;
           Alcotest.test_case "cut fraction (Theorem 4)" `Quick test_ldd_cut_fraction;
           Alcotest.test_case "cut edges cross" `Quick test_ldd_removed_edges_consistent;
           Alcotest.test_case "expander stays whole" `Quick test_ldd_expander_is_single_part;

@@ -112,8 +112,10 @@ let test_suppression_is_rule_specific () =
         let f () = failwith \"x\"")
 
 let test_suppression_requires_reason () =
+  (* the reasonless pragma is spliced so linting this file does not
+     trip over the literal *)
   let fs =
-    lint "(* dex-lint: allow D002 *)\nlet f () = Random.int 3"
+    lint ("(* dex-lint: " ^ "allow D002 *)\nlet f () = Random.int 3")
   in
   check_rules "inert pragma: D000 + the finding" [ "D000"; "D002" ] fs
 
@@ -136,6 +138,131 @@ let test_findings_sorted_and_positioned () =
   check_rules "ordered by line" [ "D002"; "D003"; "D001" ] fs;
   Alcotest.(check (list int)) "line numbers" [ 1; 2; 3 ]
     (List.map (fun f -> f.Lint.line) fs)
+
+(* ---------- typed engine: C003 on interfaces ---------- *)
+
+module Typed = Dex_lint_core.Typed_lint
+
+let mli ?(path = "lib/congest/fixture.mli") ?all_rules src =
+  match Typed.lint_mli_source ?all_rules ~path src with
+  | Ok findings -> findings
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+
+let test_c003_vertex_params () =
+  check_rules "raw root" [ "C003" ] (mli "val bfs : root:int -> unit");
+  check_rules "raw vertex map" [ "C003" ]
+    (mli "val relabel : vertex_map:int array -> unit");
+  check_rules "phantom-typed root is fine" []
+    (mli "val bfs : root:Dex_graph.Vertex.local -> unit");
+  check_rules "unlabelled ints untouched" [] (mli "val degree : int -> int")
+
+let test_c003_scoping_and_pragma () =
+  check_rules "outside the protocol layers" []
+    (mli ~path:"lib/graph/fixture.mli" "val bfs : root:int -> unit");
+  check_rules "--all-rules overrides the scope" [ "C003" ]
+    (mli ~path:"lib/graph/fixture.mli" ~all_rules:true "val bfs : root:int -> unit");
+  check_rules "pragma suppresses" []
+    (mli "(* dex-lint: allow C003 staged migration *)\nval bfs : root:int -> unit")
+
+let test_c_rule_pragma_scan () =
+  let p =
+    Lint.scan_pragmas ~path:"x.ml"
+      "(* dex-lint: allow C002 guarded upstream *)\nlet x = 1"
+  in
+  Alcotest.(check bool) "C-rule pragma covers its line and the next" true
+    (Hashtbl.mem p.Lint.allowed (1, "C002") && Hashtbl.mem p.Lint.allowed (2, "C002"));
+  Alcotest.(check int) "well-formed" 0 (List.length p.Lint.malformed)
+
+(* ---------- typed engine: W-rules on real .cmts ---------- *)
+
+let have_ocamlc =
+  lazy (Sys.command "ocamlc -version > /dev/null 2> /dev/null" = 0)
+
+(* compile [src] with -bin-annot and run the W-rules on its .cmt;
+   ocamlc writes outputs next to the source *)
+let w_findings src =
+  let dir = Filename.temp_file "dex_lint_w" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let ml = Filename.concat dir "probe.ml" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let oc = open_out ml in
+      output_string oc src;
+      close_out oc;
+      let rc =
+        Sys.command
+          (Printf.sprintf "ocamlc -bin-annot -c %s 2> /dev/null"
+             (Filename.quote ml))
+      in
+      if rc <> 0 then Alcotest.failf "probe did not compile:\n%s" src;
+      match
+        (Cmt_format.read_cmt (Filename.concat dir "probe.cmt")).cmt_annots
+      with
+      | Cmt_format.Implementation str -> Typed.w_rules ~file:"probe.ml" str
+      | _ -> Alcotest.fail "expected an implementation cmt")
+
+let test_w_rules_certify () =
+  if Lazy.force have_ocamlc then begin
+    check_rules "C001: static length over a literal budget" [ "C001" ]
+      (w_findings
+         "let create ~word_size () = word_size\n\
+          let _b = create ~word_size:2 ()\n\
+          let site () : int * int array = (1, [| 1; 2; 3 |])");
+    check_rules "static length within the default budget" []
+      (w_findings "let site () : int * int array = (1, [| 7 |])");
+    check_rules "length decided through a local helper" []
+      (w_findings
+         "let encode x = [| x |]\n\
+          let site x : int * int array = (1, encode x)");
+    check_rules "C002: unguarded dynamic length" [ "C002" ]
+      (w_findings "let site n : int * int array = (1, Array.make n 0)");
+    check_rules "Invariant.words guard recognized" []
+      (w_findings
+         "module Invariant = struct let words ~budget:_ ~where:_ a = a end\n\
+          let site n : int * int array =\n\
+         \  (1, Invariant.words ~budget:1 ~where:\"t\" (Array.make n 0))");
+    check_rules "non-literal budget disables C001, never C002"
+      [ "C002" ]
+      (w_findings
+         "let create ~word_size () = word_size\n\
+          let _b w = create ~word_size:w ()\n\
+          let wide () : int * int array = (1, [| 1; 2; 3 |])\n\
+          let dyn n : int * int array = (1, Array.make n 0)")
+  end
+
+(* ---------- typed engine: unit naming, dune parsing, the ladder ---------- *)
+
+let test_unit_name_splitting () =
+  Alcotest.(check (list string)) "wrapped" [ "Dex_congest"; "Network" ]
+    (Typed.split_wrapped "Dex_congest__Network");
+  Alcotest.(check (list string)) "plain" [ "Dexpander" ]
+    (Typed.split_wrapped "Dexpander");
+  Alcotest.(check string) "exe unit" "Dune.exe.Test_lint"
+    (Typed.canon_of_unit_name "Dune__exe__Test_lint")
+
+let test_declared_libraries () =
+  Alcotest.(check (list string)) "parsed across lines"
+    [ "dex_util"; "dex_graph"; "dex_obs" ]
+    (Typed.declared_libraries
+       "(library\n (name x)\n (libraries dex_util dex_graph\n   dex_obs))");
+  Alcotest.(check (list string)) "no stanza" []
+    (Typed.declared_libraries "(executable (name y))")
+
+let test_layer_ranks_ladder () =
+  let r l =
+    match Typed.rank l with
+    | Some r -> r
+    | None -> Alcotest.failf "no rank for %s" l
+  in
+  Alcotest.(check bool) "util below congest" true (r "dex_util" < r "dex_congest");
+  Alcotest.(check bool) "congest below ldd" true (r "dex_congest" < r "dex_ldd");
+  Alcotest.(check bool) "ldd below decomp" true (r "dex_ldd" < r "dex_decomp");
+  Alcotest.(check bool) "decomp below triangle" true (r "dex_decomp" < r "dex_triangle");
+  Alcotest.(check bool) "umbrella on top" true (r "dex_triangle" < r "dexpander")
 
 let test_json_report_round_trips () =
   let fs = lint "let f () = failwith \"x\"" in
@@ -182,4 +309,14 @@ let () =
           Alcotest.test_case "sorted findings" `Quick
             test_findings_sorted_and_positioned;
           Alcotest.test_case "json round trip" `Quick test_json_report_round_trips;
-          Alcotest.test_case "rule table" `Quick test_rule_table_complete ] ) ]
+          Alcotest.test_case "rule table" `Quick test_rule_table_complete ] );
+      ( "typed",
+        [ Alcotest.test_case "C003 vertex params" `Quick test_c003_vertex_params;
+          Alcotest.test_case "C003 scoping & pragma" `Quick
+            test_c003_scoping_and_pragma;
+          Alcotest.test_case "C-rule pragmas scan" `Quick test_c_rule_pragma_scan;
+          Alcotest.test_case "W-rules certify budgets" `Quick test_w_rules_certify;
+          Alcotest.test_case "unit name splitting" `Quick test_unit_name_splitting;
+          Alcotest.test_case "dune (libraries ...) parsing" `Quick
+            test_declared_libraries;
+          Alcotest.test_case "layer ladder" `Quick test_layer_ranks_ladder ] ) ]

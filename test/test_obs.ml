@@ -165,6 +165,7 @@ let test_hot_edges_star () =
     (Network.run_rounds net ~label:"star-pings"
        ~init:(fun v -> if v = 0 then 0 else (v mod 3) + 1)
        ~step:(fun ~round:_ ~vertex:v budget _inbox ->
+         let v = Dex_graph.Vertex.local_int v in
          if v = 0 || budget = 0 then (budget, [])
          else (budget - 1, [ (0, [| v |]) ]))
        4);
@@ -192,6 +193,7 @@ let flood net g rounds =
     (Network.run_rounds net ~label:"flood"
        ~init:(fun v -> v land 1)
        ~step:(fun ~round:_ ~vertex:v st inbox ->
+         let v = Dex_graph.Vertex.local_int v in
          let st = List.fold_left (fun acc (_, m) -> acc lxor m.(0)) st inbox in
          let out = ref [] in
          Graph.iter_neighbors g v (fun u -> out := (u, [| st |]) :: !out);
@@ -335,6 +337,53 @@ let sample_sections () =
             [ [ "8"; "12"; "40" ]; [ "16" ] ] ];
       notes = [ "a note" ] } ]
 
+let test_clock_freeze () =
+  Fun.protect ~finally:Dex_obs.Clock.unfreeze
+    (fun () ->
+      Dex_obs.Clock.freeze 42;
+      Alcotest.(check int) "frozen" 42 (Dex_obs.Clock.now_ns ());
+      Alcotest.(check int) "still frozen" 42 (Dex_obs.Clock.now_ns ()))
+
+let test_json_buffer_and_float () =
+  let v = Json.Obj [ ("a", Json.Int 3); ("b", Json.Float 0.5) ] in
+  let buf = Buffer.create 16 in
+  Json.to_buffer buf v;
+  Alcotest.(check string) "to_buffer agrees with to_string"
+    (Json.to_string v) (Buffer.contents buf);
+  Alcotest.(check bool) "to_float on Float" true (Json.to_float (Json.Float 0.5) = Some 0.5);
+  Alcotest.(check bool) "to_float widens Int" true (Json.to_float (Json.Int 3) = Some 3.0);
+  Alcotest.(check bool) "to_float rejects strings" true
+    (Json.to_float (Json.String "x") = None)
+
+let test_set_sink_and_event_json () =
+  let path = Filename.temp_file "dex_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let tr = Trace.create () in
+      Trace.emit tr (Trace.Note { key = "before"; value = "unsunk" });
+      let sink = open_out path in
+      Trace.set_sink tr (Some sink);
+      let ev = Trace.Note { key = "after"; value = "sunk" } in
+      Trace.emit tr ev;
+      Trace.set_sink tr None;
+      Trace.emit tr (Trace.Note { key = "detached"; value = "unsunk" });
+      close_out sink;
+      let ic = open_in path in
+      let line = input_line ic in
+      let at_eof = try ignore (input_line ic); false with End_of_file -> true in
+      close_in ic;
+      Alcotest.(check bool) "exactly one line sunk" true at_eof;
+      Alcotest.(check string) "the sunk event, via event_to_json"
+        (Json.to_string (Trace.event_to_json ev)) line;
+      Alcotest.(check int) "ring kept all three" 3 (Trace.emitted tr))
+
+let test_snapshot_version_embedded () =
+  let doc = Snapshot.to_json ~mode:"quick" (sample_sections ()) in
+  match Json.member "schema" doc with
+  | Some (Json.String v) -> Alcotest.(check string) "schema id" Snapshot.version v
+  | _ -> Alcotest.fail "snapshot lacks a schema field"
+
 let test_snapshot_valid () =
   let doc = Snapshot.to_json ~mode:"quick" (sample_sections ()) in
   (match Snapshot.validate doc with
@@ -384,11 +433,15 @@ let () =
   Alcotest.run "obs"
     [ ( "json",
         [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "buffer & float accessors" `Quick test_json_buffer_and_float;
           Alcotest.test_case "malformed input" `Quick test_json_errors ] );
       ( "trace",
         [ Alcotest.test_case "event jsonl roundtrip" `Quick test_event_roundtrip;
           Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
-          Alcotest.test_case "jsonl sink roundtrip" `Quick test_jsonl_sink_roundtrip ] );
+          Alcotest.test_case "jsonl sink roundtrip" `Quick test_jsonl_sink_roundtrip;
+          Alcotest.test_case "set_sink attach/detach" `Quick test_set_sink_and_event_json ] );
+      ( "clock",
+        [ Alcotest.test_case "freeze/unfreeze" `Quick test_clock_freeze ] );
       ( "spans",
         [ Alcotest.test_case "deterministic under fixed seed" `Quick
             test_span_tree_deterministic;
@@ -405,4 +458,5 @@ let () =
         [ Alcotest.test_case "las vegas retry events" `Quick test_retry_events ] );
       ( "snapshot",
         [ Alcotest.test_case "valid document" `Quick test_snapshot_valid;
+          Alcotest.test_case "schema id embedded" `Quick test_snapshot_version_embedded;
           Alcotest.test_case "invalid documents rejected" `Quick test_snapshot_invalid ] ) ]

@@ -38,7 +38,14 @@ let test_sparse_dense_agree () =
   let sd = sparse_to_dense 25 !sparse in
   Array.iteri
     (fun v x -> Alcotest.(check (float 1e-9)) (Printf.sprintf "p(%d)" v) x sd.(v))
-    !dense
+    !dense;
+  (* the sparse support is exactly the dense positive entries *)
+  let dense_support =
+    Array.to_list (Array.mapi (fun v x -> (v, x)) !dense)
+    |> List.filter_map (fun (v, x) -> if x > 0.0 then Some v else None)
+  in
+  Alcotest.(check (list int)) "support matches dense positives" dense_support
+    (List.sort compare (Walk.support !sparse))
 
 let test_self_loop_mass_returns () =
   (* one vertex with a self-loop and a pendant: loop mass stays *)
@@ -166,6 +173,19 @@ let test_spectral_gap_complete_vs_ring () =
   Alcotest.(check bool) "complete gap big" true (gap_complete > 0.3);
   Alcotest.(check bool) "ring gap small" true (gap_ring < 0.2)
 
+let test_second_eigenvector_splits_barbell () =
+  let g = Gen.barbell ~clique:6 ~bridge:0 in
+  let vec = Mixing.second_eigenvector ~iters:300 g (Rng.create 11) in
+  Alcotest.(check int) "one entry per vertex" (Graph.num_vertices g) (Array.length vec);
+  (* the near-Fiedler direction separates the cliques: constant sign
+     within each side, opposite signs across the bridge *)
+  let sgn x = x >= 0.0 in
+  for v = 1 to 5 do
+    Alcotest.(check bool) "left side coherent" (sgn vec.(0)) (sgn vec.(v));
+    Alcotest.(check bool) "right side coherent" (sgn vec.(6)) (sgn vec.(6 + v))
+  done;
+  Alcotest.(check bool) "sides are separated" true (sgn vec.(0) <> sgn vec.(6))
+
 let test_cheeger_sandwich () =
   (* gap(lazy) ≤ Φ ≤ sqrt(2·2·gap(lazy)) on graphs we can brute force *)
   let graphs =
@@ -239,6 +259,8 @@ let () =
       ( "mixing",
         [ Alcotest.test_case "mixing time ordering" `Quick test_mixing_time_ordering;
           Alcotest.test_case "gap: complete vs ring" `Quick test_spectral_gap_complete_vs_ring;
+          Alcotest.test_case "second eigenvector splits barbell" `Quick
+            test_second_eigenvector_splits_barbell;
           Alcotest.test_case "cheeger sandwich" `Quick test_cheeger_sandwich ] );
       ( "exact",
         [ Alcotest.test_case "complete graph" `Quick test_exact_complete_graph;

@@ -2,80 +2,63 @@
 
    Usage: dune exec tools/lint/dex_lint.exe -- [options] <file-or-dir>...
 
+   Two engines (see DESIGN.md §9–10): the parsetree D-rules and the
+   typed-AST C-rules (word budgets, vertex coordinate spaces, the
+   cross-module reference graph). The typed engine needs the .cmt
+   files of a completed `dune build`.
+
    Exit status: 0 clean, 1 unsuppressed findings, 2 parse/IO errors. *)
 
-module Lint = Dex_lint_core.Lint
+module Cli = Dex_lint_core.Cli
 
-let usage = "dex_lint [--json] [--all-rules] [--list-rules] <file-or-dir>..."
+let usage =
+  "dex_lint [--json] [--all-rules] [--typed-only] [--no-typed] [--cmt-root \
+   DIR] [--source-root DIR] [--graph-json FILE] [--dead-scope DIR] \
+   [--include-fixtures] [--list-rules] <file-or-dir>..."
 
-let json_mode = ref false
-let all_rules = ref false
+let opts = ref Cli.default_opts
 let list_rules = ref false
-let targets = ref []
 
 let spec =
-  [ ("--json", Arg.Set json_mode, " emit the report as a single JSON object");
+  [ ( "--json",
+      Arg.Unit (fun () -> opts := { !opts with Cli.json = true }),
+      " emit the report as a single JSON object" );
     ( "--all-rules",
-      Arg.Set all_rules,
+      Arg.Unit (fun () -> opts := { !opts with Cli.all_rules = true }),
       " apply every rule regardless of path scoping (for fixtures)" );
+    ( "--typed-only",
+      Arg.Unit (fun () -> opts := { !opts with Cli.typed_only = true }),
+      " run only the typed-AST engine (C-rules)" );
+    ( "--no-typed",
+      Arg.Unit (fun () -> opts := { !opts with Cli.no_typed = true }),
+      " run only the parsetree engine (D-rules)" );
+    ( "--cmt-root",
+      Arg.String (fun d -> opts := { !opts with Cli.cmt_root = d }),
+      "DIR root of the .cmt forest (default _build/default)" );
+    ( "--source-root",
+      Arg.String (fun d -> opts := { !opts with Cli.source_root = d }),
+      "DIR root the .cmt source paths are relative to (default .)" );
+    ( "--graph-json",
+      Arg.String (fun f -> opts := { !opts with Cli.graph_json = Some f }),
+      "FILE write the module reference graph as JSON" );
+    ( "--dead-scope",
+      Arg.String
+        (fun d ->
+          opts := { !opts with Cli.dead_scope = !opts.Cli.dead_scope @ [ d ] }),
+      "DIR also scan DIR's .mli exports for C004 (default: lib)" );
+    ( "--include-fixtures",
+      Arg.Unit (fun () -> opts := { !opts with Cli.include_fixtures = true }),
+      " lint fixture directories too (they violate on purpose)" );
     ("--list-rules", Arg.Set list_rules, " print the rule table and exit") ]
 
-let rec collect_ml path acc =
-  if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry ->
-        if entry = "_build" || entry = ".git" then acc
-        else collect_ml (Filename.concat path entry) acc)
-      acc
-      (let entries = Sys.readdir path in
-       Array.sort compare entries;
-       entries)
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
-
 let () =
-  Arg.parse (Arg.align spec) (fun t -> targets := t :: !targets) usage;
+  Arg.parse (Arg.align spec)
+    (fun t -> opts := { !opts with Cli.targets = !opts.Cli.targets @ [ t ] })
+    usage;
   if !list_rules then begin
-    List.iter (fun (id, summary) -> Printf.printf "%s  %s\n" id summary) Lint.rules;
+    List.iter
+      (fun (id, summary) -> Printf.printf "%s  %s\n" id summary)
+      Cli.all_rules_table;
     exit 0
   end;
-  if !targets = [] then begin
-    prerr_endline usage;
-    exit 2
-  end;
-  let files =
-    List.concat_map
-      (fun t ->
-        if not (Sys.file_exists t) then begin
-          Printf.eprintf "dex_lint: no such file or directory: %s\n" t;
-          exit 2
-        end;
-        List.rev (collect_ml t []))
-      (List.rev !targets)
-  in
-  let findings = ref [] in
-  let errors = ref [] in
-  List.iter
-    (fun path ->
-      match Lint.lint_file ~all_rules:!all_rules path with
-      | Ok fs -> findings := !findings @ fs
-      | Error msg -> errors := !errors @ [ (path, msg) ])
-    files;
-  if !json_mode then
-    print_endline
-      (Dex_obs.Json.to_string
-         (Lint.report_to_json ~files:(List.length files) ~errors:!errors !findings))
-  else begin
-    List.iter (fun f -> print_endline (Lint.finding_to_string f)) !findings;
-    List.iter
-      (fun (path, msg) -> Printf.eprintf "%s: parse error:\n%s\n" path msg)
-      !errors;
-    Printf.printf "dex_lint: %d file%s, %d finding%s, %d error%s\n"
-      (List.length files)
-      (if List.length files = 1 then "" else "s")
-      (List.length !findings)
-      (if List.length !findings = 1 then "" else "s")
-      (List.length !errors)
-      (if List.length !errors = 1 then "" else "s")
-  end;
-  if !errors <> [] then exit 2 else if !findings <> [] then exit 1 else exit 0
+  exit (Cli.run !opts)

@@ -1,0 +1,5 @@
+(* must fail: a 3-word message against a literal 2-word budget *)
+
+let create ~word_size () = word_size
+let budget = create ~word_size:2 ()
+let site () : int * int array = (budget, [| 1; 2; 3 |])

@@ -1,0 +1,10 @@
+(* must pass: literal lengths within the literal budget, including a
+   length decided through a local binding and a local helper *)
+
+let create ~word_size () = word_size
+let budget = create ~word_size:2 ()
+let pair = [| 4; 5 |]
+let encode x = [| x |]
+let direct () : int * int array = (budget, [| 1; 2 |])
+let via_binding () : int * int array = (0, pair)
+let via_helper x : int * int array = (1, encode x)

@@ -1,0 +1,3 @@
+(* must fail: a dynamic-length message with no Invariant.words guard *)
+
+let site n : int * int array = (1, Array.make n 0)

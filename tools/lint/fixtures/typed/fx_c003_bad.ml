@@ -1,0 +1,2 @@
+let bfs ~root = ignore (root : int)
+let relabel ~vertex_map = ignore (vertex_map : int array)

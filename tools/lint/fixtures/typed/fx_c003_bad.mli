@@ -1,0 +1,4 @@
+(* must fail twice: a raw-int vertex parameter and a raw vertex map *)
+
+val bfs : root:int -> unit
+val relabel : vertex_map:int array -> unit

@@ -1,0 +1,2 @@
+let used = 1
+let never_used = 2

@@ -1,0 +1,4 @@
+(* [used] is referenced by Fx_c004_user; [never_used] must fail C004 *)
+
+val used : int
+val never_used : int

@@ -1,0 +1,3 @@
+(* the cross-unit reference that keeps Fx_c004_dead.used alive *)
+
+let answer = Fx_c004_dead.used

@@ -1,0 +1,738 @@
+(* dex_lint typed-AST engine: rules that need the compiler's verdict,
+   checked on `-bin-annot` .cmt/.cmti files produced by the dune build
+   (dune passes -bin-annot by default).
+
+   Three rule families (see DESIGN.md §10):
+
+   W-rules — word-budget certification. Every message-construction
+   site (a typed tuple `(int, int array)`, the shape of an outbox or
+   inbox entry) is classified: statically-decidable lengths (literal
+   arrays, `Array.make k` with a literal k, local bindings and
+   single-clause local helpers returning such arrays) are certified
+   against the file's word budget (C001); dynamic lengths must be
+   dominated by a `Dex_util.Invariant.words` guard (C002). The budget
+   is the largest literal `~word_size` passed to a `create` call in
+   the same file, 1 (the CONGEST default: O(log n) bits = one machine
+   word) otherwise; a non-literal `~word_size` makes the budget
+   undecidable and disables C001 for the file, never C002.
+
+   V-rules — coordinate-space safety. C003 parses protocol-layer
+   `.mli`s (lib/congest, lib/ldd, lib/expander) and rejects raw `int`
+   vertex-valued labelled parameters — the phantom ids
+   `Dex_graph.Vertex.local`/`orig` and `Vertex.Map.t` are free at
+   runtime and make cross-space indexing a type error.
+
+   X-rules — cross-module reference graph. The .cmts of the whole
+   build yield a unit-level reference graph (value uses, module
+   aliases, type constructors), exported as JSON for the obs layer.
+   C004 reports `.mli` value exports referenced by no other
+   compilation unit; C005 reports layering violations: a library
+   referencing a peer or higher layer, and library dependencies
+   declared in a dune file that no unit of the library references.
+
+   Decidability limits are deliberate: lengths flowing through
+   function parameters, arrays built by non-local helpers, and
+   budgets threaded as values classify as dynamic — guard them with
+   `Invariant.words` at the construction site or suppress with an
+   allow pragma naming the rule and a reason (see [Lint.scan_pragmas]). *)
+
+module Json = Dex_obs.Json
+
+type finding = Lint.finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let rules =
+  [ ( "C001",
+      "statically-decidable message length exceeds the word budget \
+       (literal array or Array.make with literal size vs the file's \
+       literal ~word_size, default 1)" );
+    ( "C002",
+      "dynamic-length message construction not dominated by a \
+       Dex_util.Invariant.words length guard" );
+    ( "C003",
+      "raw int vertex parameter in a protocol-layer .mli; use \
+       Dex_graph.Vertex.local / Vertex.orig (and Vertex.Map.t for \
+       vertex maps)" );
+    ( "C004",
+      "dead .mli export: value referenced by no other compilation \
+       unit" );
+    ( "C005",
+      "layering violation: reference against the layer order, or a \
+       dune-declared library dependency no unit of the library uses" ) ]
+
+let mk_finding ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let finding_of_loc ~rule ~file loc message =
+  let p = loc.Location.loc_start in
+  mk_finding ~rule ~file ~line:p.Lexing.pos_lnum
+    ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+    message
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* suppress findings with the shared pragma syntax, reading [src] as
+   the text the findings' lines refer to *)
+let suppress ~path ~src findings =
+  let pragmas = Lint.scan_pragmas ~path src in
+  List.filter
+    (fun f -> not (Hashtbl.mem pragmas.Lint.allowed (f.line, f.rule)))
+    findings
+
+let is_fixture_path path = List.mem "fixtures" (Lint.rel_segments path)
+
+(* ================= W-rules: word-budget certification ============= *)
+
+open Typedtree
+
+type len_class = Static of int | Guarded | Dynamic
+
+(* what a local binding tells us about lengths *)
+type binding = Arr of len_class | Fn of len_class
+
+let path_comps p = String.split_on_char '.' (Path.name p)
+
+let ident_comps e =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some (path_comps p) | _ -> None
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
+
+let is_invariant_words comps =
+  match List.rev comps with
+  | "words" :: "Invariant" :: _ -> true
+  | _ -> false
+
+let is_array_make comps =
+  match List.rev (strip_stdlib comps) with
+  | ("make" | "create" | "init") :: "Array" :: _ -> true
+  | [ ("make" | "create" | "init") ] -> false
+  | _ -> false
+
+let constant_int e =
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_int k) -> Some k
+  (* a labelled arg to an Optional parameter arrives as [Some k] *)
+  | Texp_construct ({ txt = Longident.Lident "Some"; _ }, _, [ inner ]) -> (
+    match inner.exp_desc with
+    | Texp_constant (Asttypes.Const_int k) -> Some k
+    | _ -> None)
+  | _ -> None
+
+let is_int_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> Path.name p = "int"
+  | _ -> false
+
+(* [int array], or any alias whose tail name is [message] (the
+   Network/Clique message abbreviation survives unexpanded in cmts) *)
+let is_word_array_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [ elt ], _) when Path.name p = "array" -> is_int_type elt
+  | Types.Tconstr (p, _, _) -> (
+    match List.rev (path_comps p) with "message" :: _ -> true | _ -> false)
+  | _ -> false
+
+let rec classify env e =
+  match e.exp_desc with
+  | Texp_array elems -> Static (List.length elems)
+  | Texp_apply (f, args) -> (
+    match ident_comps f with
+    | Some comps when is_invariant_words comps -> Guarded
+    | Some comps when is_array_make comps -> (
+      match
+        List.find_map
+          (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+          args
+      with
+      | Some a -> (
+        match constant_int a with Some k -> Static k | None -> Dynamic)
+      | None -> Dynamic)
+    | Some comps -> (
+      match Hashtbl.find_opt env (List.nth comps (List.length comps - 1)) with
+      | Some (Fn cls) -> cls
+      | _ -> Dynamic)
+    | None -> Dynamic)
+  | Texp_ident (p, _, _) -> (
+    let comps = path_comps p in
+    match Hashtbl.find_opt env (List.nth comps (List.length comps - 1)) with
+    | Some (Arr cls) -> cls
+    | _ -> Dynamic)
+  | Texp_let (_, vbs, body) ->
+    List.iter (record_binding env) vbs;
+    classify env body
+  | Texp_sequence (_, e2) -> classify env e2
+  | Texp_open (_, e2) -> classify env e2
+  | Texp_ifthenelse (_, t, Some f) ->
+    let a = classify env t and b = classify env f in
+    if a = b then a else Dynamic
+  | _ -> Dynamic
+
+and record_binding env vb =
+  match vb.vb_pat.pat_desc with
+  | Tpat_var (id, _) -> (
+    let name = Ident.name id in
+    let rec through_fun e =
+      match e.exp_desc with
+      | Texp_function { cases = [ { c_rhs; c_guard = None; _ } ]; _ } ->
+        Some (through_fun_body c_rhs)
+      | _ -> None
+    and through_fun_body e =
+      match e.exp_desc with
+      | Texp_function { cases = [ { c_rhs; c_guard = None; _ } ]; _ } ->
+        through_fun_body c_rhs
+      | _ -> e
+    in
+    match through_fun vb.vb_expr with
+    | Some body -> (
+      match classify env body with
+      | Dynamic -> ()
+      | cls -> Hashtbl.replace env name (Fn cls))
+    | None -> (
+      match classify env vb.vb_expr with
+      | Dynamic -> ()
+      | cls -> Hashtbl.replace env name (Arr cls)))
+  | _ -> ()
+
+(* W-rule pass over one implementation: find the word budget and every
+   message site, then certify *)
+let w_rules ~file str =
+  let env : (string, binding) Hashtbl.t = Hashtbl.create 32 in
+  let budgets = ref [] in
+  let undecidable_budget = ref false in
+  let sites = ref [] in
+  let expr (self : Tast_iterator.iterator) e =
+    (match e.exp_desc with
+     | Texp_let (_, vbs, _) -> List.iter (record_binding env) vbs
+     | Texp_apply (f, args) -> (
+       match ident_comps f with
+       | Some comps
+         when (match List.rev comps with
+               | "create" :: _ -> true
+               | _ -> false) ->
+         List.iter
+           (function
+             | (Asttypes.Labelled "word_size" | Asttypes.Optional "word_size"), Some a
+               -> (
+               match constant_int a with
+               | Some k -> budgets := k :: !budgets
+               | None -> undecidable_budget := true)
+             | _ -> ())
+           args
+       | _ -> ())
+     | Texp_tuple [ e1; e2 ]
+       when is_int_type e1.exp_type && is_word_array_type e2.exp_type ->
+       sites := (e2, e2.exp_loc) :: !sites
+     | _ -> ());
+    Tast_iterator.default_iterator.expr self e
+  in
+  let structure_item (self : Tast_iterator.iterator) si =
+    (match si.str_desc with
+     | Tstr_value (_, vbs) -> List.iter (record_binding env) vbs
+     | _ -> ());
+    Tast_iterator.default_iterator.structure_item self si
+  in
+  let it = { Tast_iterator.default_iterator with expr; structure_item } in
+  it.structure it str;
+  let budget = List.fold_left max 1 !budgets in
+  List.filter_map
+    (fun (e, loc) ->
+      match classify env e with
+      | Guarded -> None
+      | Static n ->
+        if (not !undecidable_budget) && n > budget then
+          Some
+            (finding_of_loc ~rule:"C001" ~file loc
+               (Printf.sprintf
+                  "message of %d words exceeds the %d-word budget; shrink it \
+                   or raise ~word_size with a literal"
+                  n budget))
+        else None
+      | Dynamic ->
+        Some
+          (finding_of_loc ~rule:"C002" ~file loc
+             "dynamic-length message construction; dominate it with \
+              Dex_util.Invariant.words ~budget ~where at the construction \
+              site"))
+    (List.rev !sites)
+
+(* ================= loading .cmt units ============================= *)
+
+type unit_info = {
+  canon : string; (* "Dex_congest.Network", "Dexpander", ... *)
+  lib : string option; (* owning dune library, from the .objs dir *)
+  dir : string; (* source dir relative to the build root *)
+  source : string option; (* relative source path, when recorded *)
+  imports : string list; (* raw unit names from cmt_imports *)
+  annots : Cmt_format.binary_annots;
+}
+
+(* "Dex_congest__Network" -> ["Dex_congest"; "Network"];
+   a trailing "__" (dune's generated alias unit) drops cleanly *)
+let split_wrapped name =
+  let n = String.length name in
+  let rec go acc start i =
+    if i + 1 >= n then
+      let last = String.sub name start (n - start) in
+      List.rev (if last = "" then acc else last :: acc)
+    else if name.[i] = '_' && name.[i + 1] = '_' then
+      let seg = String.sub name start (i - start) in
+      go (if seg = "" then acc else seg :: acc) (i + 2) (i + 2)
+    else go acc start (i + 1)
+  in
+  go [] 0 0
+
+let canon_of_unit_name name = String.concat "." (split_wrapped name)
+
+(* lib name from ".../.dex_congest.objs/..." or ".../.main.eobjs/..." *)
+let lib_of_cmt_path path =
+  let segs = String.split_on_char '/' path in
+  List.find_map
+    (fun s ->
+      if String.length s > 6 && s.[0] = '.' && Filename.check_suffix s ".objs"
+      then
+        let core = Filename.remove_extension (String.sub s 1 (String.length s - 1)) in
+        if Filename.check_suffix core ".e" then None
+        else Some core
+      else None)
+    segs
+
+let dir_of_cmt_path path =
+  let segs = String.split_on_char '/' path in
+  let rec take acc = function
+    | [] -> List.rev acc
+    | s :: _ when String.length s > 0 && s.[0] = '.' && not (s = ".") -> List.rev acc
+    | s :: rest -> take (s :: acc) rest
+  in
+  String.concat "/" (take [] segs)
+
+let rec collect_suffix root suffix acc =
+  if Sys.is_directory root then
+    Array.fold_left
+      (fun acc entry -> collect_suffix (Filename.concat root entry) suffix acc)
+      acc (Sys.readdir root)
+  else if Filename.check_suffix root suffix then root :: acc
+  else acc
+
+let load_units ~cmt_root =
+  let errors = ref [] in
+  let load suffix path =
+    match Cmt_format.read_cmt path with
+    | exception exn ->
+      errors := (path, Printexc.to_string exn) :: !errors;
+      None
+    | cmt ->
+      let rel =
+        if String.length path > String.length cmt_root
+           && String.sub path 0 (String.length cmt_root) = cmt_root
+        then
+          let r = String.sub path (String.length cmt_root)
+              (String.length path - String.length cmt_root) in
+          if r <> "" && r.[0] = '/' then String.sub r 1 (String.length r - 1)
+          else r
+        else path
+      in
+      ignore suffix;
+      Some
+        { canon = canon_of_unit_name cmt.Cmt_format.cmt_modname;
+          lib = lib_of_cmt_path rel;
+          dir = dir_of_cmt_path rel;
+          source = cmt.Cmt_format.cmt_sourcefile;
+          imports = List.map fst cmt.Cmt_format.cmt_imports;
+          annots = cmt.Cmt_format.cmt_annots }
+  in
+  let cmts = List.sort compare (collect_suffix cmt_root ".cmt" []) in
+  let cmtis = List.sort compare (collect_suffix cmt_root ".cmti" []) in
+  let impls = List.filter_map (load ".cmt") cmts in
+  let intfs = List.filter_map (load ".cmti") cmtis in
+  (impls, intfs, List.rev !errors)
+
+(* ================= X-rules: reference graph ======================= *)
+
+type ref_db = {
+  known_units : (string, unit) Hashtbl.t; (* canon unit names *)
+  global_aliases : (string, string list) Hashtbl.t; (* "Dexpander.Ldd" -> comps *)
+  (* (referencing unit canon, target unit canon, qualified value name);
+     value name "" is a bare module reference *)
+  mutable value_refs : (string * string * string) list;
+}
+
+let norm_comps comps = List.concat_map split_wrapped comps
+
+(* resolve alias prefixes: local aliases of the referencing unit first,
+   then cross-unit aliases (e.g. Dexpander's re-exports), to fixpoint *)
+let resolve_comps db local_aliases comps =
+  let step comps =
+    match comps with
+    | head :: rest when Hashtbl.mem local_aliases head ->
+      Some (Hashtbl.find local_aliases head @ rest)
+    | a :: b :: rest when Hashtbl.mem db.global_aliases (a ^ "." ^ b) ->
+      Some (Hashtbl.find db.global_aliases (a ^ "." ^ b) @ rest)
+    | _ -> None
+  in
+  let rec go n comps =
+    if n = 0 then comps
+    else match step comps with None -> comps | Some c -> go (n - 1) c
+  in
+  go 8 (norm_comps comps)
+
+(* split resolved comps into (unit canon, qualified member name) *)
+let target_of db comps =
+  match comps with
+  | a :: b :: rest when Hashtbl.mem db.known_units (a ^ "." ^ b) ->
+    Some (a ^ "." ^ b, String.concat "." rest)
+  | a :: rest when Hashtbl.mem db.known_units a ->
+    Some (a, String.concat "." rest)
+  | _ -> None
+
+let scan_unit_refs db u =
+  match u.annots with
+  | Cmt_format.Implementation str ->
+    let local_aliases : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+    let add_ref p =
+      match target_of db (resolve_comps db local_aliases (path_comps p)) with
+      | Some (unit, member) when unit <> u.canon ->
+        db.value_refs <- (u.canon, unit, member) :: db.value_refs
+      | _ -> ()
+    in
+    let expr (self : Tast_iterator.iterator) e =
+      (match e.exp_desc with
+       | Texp_ident (p, _, _) -> add_ref p
+       | Texp_construct _ -> ()
+       | _ -> ());
+      Tast_iterator.default_iterator.expr self e
+    in
+    let module_expr (self : Tast_iterator.iterator) me =
+      (match me.mod_desc with Tmod_ident (p, _) -> add_ref p | _ -> ());
+      Tast_iterator.default_iterator.module_expr self me
+    in
+    let typ (self : Tast_iterator.iterator) ct =
+      (match ct.ctyp_desc with Ttyp_constr (p, _, _) -> add_ref p | _ -> ());
+      Tast_iterator.default_iterator.typ self ct
+    in
+    let structure_item (self : Tast_iterator.iterator) si =
+      (match si.str_desc with
+       | Tstr_module
+           { mb_name = { txt = Some name; _ };
+             mb_expr = { mod_desc = Tmod_ident (p, _); _ };
+             _ } ->
+         Hashtbl.replace local_aliases name
+           (resolve_comps db local_aliases (path_comps p))
+       | _ -> ());
+      Tast_iterator.default_iterator.structure_item self si
+    in
+    let it =
+      { Tast_iterator.default_iterator with expr; module_expr; typ;
+        structure_item }
+    in
+    it.structure it str
+  | _ -> ()
+
+(* register the module aliases a unit exports, so references routed
+   through a facade (Dexpander.Ldd.run) resolve to the defining unit *)
+let scan_unit_aliases db u =
+  match u.annots with
+  | Cmt_format.Implementation str ->
+    List.iter
+      (fun si ->
+        match si.str_desc with
+        | Tstr_module
+            { mb_name = { txt = Some name; _ };
+              mb_expr = { mod_desc = Tmod_ident (p, _); _ };
+              _ } ->
+          Hashtbl.replace db.global_aliases
+            (u.canon ^ "." ^ name)
+            (norm_comps (path_comps p))
+        | _ -> ())
+      str.str_items
+  | _ -> ()
+
+(* value exports of a .cmti, with nested-module prefixes *)
+let exports_of_interface sg =
+  let acc = ref [] in
+  let rec walk prefix items =
+    List.iter
+      (fun item ->
+        match item.sig_desc with
+        | Tsig_value vd ->
+          acc := (prefix ^ vd.val_name.Asttypes.txt, vd.val_loc) :: !acc
+        | Tsig_module md -> (
+          let name =
+            match md.md_name.Asttypes.txt with Some n -> n | None -> ""
+          in
+          match md.md_type.mty_desc with
+          | Tmty_signature s when name <> "" ->
+            walk (prefix ^ name ^ ".") s.sig_items
+          | _ -> ())
+        | _ -> ())
+      items
+  in
+  (match sg with
+  | Cmt_format.Interface s -> walk "" s.sig_items
+  | _ -> ());
+  List.rev !acc
+
+let build_ref_db impls =
+  let db =
+    { known_units = Hashtbl.create 64;
+      global_aliases = Hashtbl.create 64;
+      value_refs = [] }
+  in
+  List.iter (fun u -> Hashtbl.replace db.known_units u.canon ()) impls;
+  List.iter (scan_unit_aliases db) impls;
+  List.iter (scan_unit_refs db) impls;
+  db
+
+(* ---- C004: dead exports ---- *)
+
+let dead_exports ~scope ~include_fixtures db impls intfs =
+  let used : (string * string, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (_, unit, member) ->
+      if member <> "" then Hashtbl.replace used (unit, member) ())
+    db.value_refs;
+  ignore impls;
+  List.concat_map
+    (fun u ->
+      match u.source with
+      | Some src
+        when List.exists (fun s -> Lint.under (Lint.rel_segments s) (Lint.rel_segments src)) scope
+             && (include_fixtures || not (is_fixture_path src)) ->
+        List.filter_map
+          (fun (name, loc) ->
+            if Hashtbl.mem used (u.canon, name) then None
+            else
+              Some
+                (finding_of_loc ~rule:"C004" ~file:src loc
+                   (Printf.sprintf
+                      "export %s.%s is referenced by no other compilation \
+                       unit; drop it from the .mli or suppress with a pragma"
+                      u.canon name)))
+          (exports_of_interface u.annots)
+      | _ -> [])
+    intfs
+
+(* ---- C005: layering ---- *)
+
+(* the architecture ladder; an edge must point strictly down *)
+let layer_ranks =
+  [ ("dex_util", 0); ("dex_graph", 1); ("dex_obs", 1); ("dex_congest", 2);
+    ("dex_spectral", 2); ("dex_sparsecut", 3); ("dex_ldd", 3);
+    ("dex_decomp", 4); ("dex_routing", 4); ("dex_triangle", 5);
+    ("dexpander", 6) ]
+
+let rank lib = List.assoc_opt lib layer_ranks
+
+(* minimal dune-file reader: the library names inside "(libraries ...)" *)
+let declared_libraries dune_src =
+  match Lint.find_sub dune_src "(libraries" 0 with
+  | None -> []
+  | Some i ->
+    let start = i + String.length "(libraries" in
+    let rec close j depth =
+      if j >= String.length dune_src then j
+      else
+        match dune_src.[j] with
+        | '(' -> close (j + 1) (depth + 1)
+        | ')' -> if depth = 0 then j else close (j + 1) (depth - 1)
+        | _ -> close (j + 1) depth
+    in
+    let stop = close start 0 in
+    String.sub dune_src start (stop - start)
+    |> String.split_on_char ' '
+    |> List.concat_map (String.split_on_char '\n')
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map String.trim
+
+let layering ~source_root db impls =
+  let lib_of_unit : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun u -> match u.lib with
+       | Some l -> Hashtbl.replace lib_of_unit u.canon l
+       | None -> ())
+    impls;
+  (* observed lib -> lib edges from resolved references *)
+  let edges : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (src_unit, dst_unit, _) ->
+      match
+        (Hashtbl.find_opt lib_of_unit src_unit, Hashtbl.find_opt lib_of_unit dst_unit)
+      with
+      | Some a, Some b when a <> b -> Hashtbl.replace edges (a, b) ()
+      | _ -> ())
+    db.value_refs;
+  let findings = ref [] in
+  (* order violations *)
+  Dex_util.Table.iter_sorted
+    (fun (a, b) () ->
+      match (rank a, rank b) with
+      | Some ra, Some rb when rb >= ra ->
+        findings :=
+          mk_finding ~rule:"C005" ~file:(Printf.sprintf "lib (%s)" a) ~line:1
+            ~col:0
+            (Printf.sprintf
+               "layering violation: %s (layer %d) references %s (layer %d); \
+                edges must point strictly down the ladder"
+               a ra b rb)
+          :: !findings
+      | _ -> ())
+    edges;
+  (* declared-but-unused dune dependencies, lib/ scope *)
+  let lib_dirs =
+    let base = Filename.concat source_root "lib" in
+    if Sys.file_exists base && Sys.is_directory base then
+      Sys.readdir base |> Array.to_list |> List.sort compare
+      |> List.filter_map (fun d ->
+             let dir = Filename.concat base d in
+             let dune = Filename.concat dir "dune" in
+             if Sys.file_exists dune then Some (Filename.concat "lib" d, dune)
+             else None)
+    else []
+  in
+  let local_libs =
+    List.sort_uniq compare
+      (List.filter_map (fun u -> u.lib) impls)
+  in
+  List.iter
+    (fun (rel_dir, dune_path) ->
+      let src = read_file dune_path in
+      let declared = declared_libraries src in
+      (* which libs live in this dir? (normally one) *)
+      let here =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun u -> if u.dir = rel_dir then u.lib else None)
+             impls)
+      in
+      List.iter
+        (fun lib ->
+          List.iter
+            (fun dep ->
+              if List.mem dep local_libs && not (Hashtbl.mem edges (lib, dep))
+              then
+                findings :=
+                  mk_finding ~rule:"C005"
+                    ~file:(Filename.concat rel_dir "dune")
+                    ~line:1 ~col:0
+                    (Printf.sprintf
+                       "declared but unused dependency: %s lists %s in \
+                        (libraries ...) yet no unit of %s references it"
+                       lib dep lib)
+                  :: !findings)
+            declared)
+        here)
+    lib_dirs;
+  List.rev !findings
+
+(* ---- reference graph as JSON (for the obs layer / CI artifact) ---- *)
+
+let graph_to_json db impls =
+  let nodes =
+    List.map
+      (fun u ->
+        Json.Obj
+          [ ("unit", Json.String u.canon);
+            ( "lib",
+              match u.lib with Some l -> Json.String l | None -> Json.Null );
+            ("dir", Json.String u.dir);
+            ( "source",
+              match u.source with Some s -> Json.String s | None -> Json.Null )
+          ])
+      impls
+  in
+  let edges =
+    List.sort_uniq compare
+      (List.map (fun (a, b, _) -> (a, b)) db.value_refs)
+  in
+  Json.Obj
+    [ ("tool", Json.String "dex_lint_typed");
+      ("units", Json.List nodes);
+      ( "edges",
+        Json.List
+          (List.map
+             (fun (a, b) ->
+               Json.Obj
+                 [ ("from", Json.String a); ("to", Json.String b) ])
+             edges) );
+      ( "value_refs",
+        Json.List
+          (List.filter_map
+             (fun (a, b, m) ->
+               if m = "" then None
+               else
+                 Some
+                   (Json.Obj
+                      [ ("from", Json.String a); ("to", Json.String b);
+                        ("value", Json.String m) ]))
+             (List.sort_uniq compare db.value_refs)) ) ]
+
+(* ================= C003: vertex params in .mli ==================== *)
+
+let vertex_param_names =
+  [ "vertex"; "root"; "src"; "dst"; "leader"; "source"; "target"; "parent";
+    "neighbor"; "u"; "v" ]
+
+let c003_scope segs =
+  Lint.under [ "lib"; "congest" ] segs
+  || Lint.under [ "lib"; "ldd" ] segs
+  || Lint.under [ "lib"; "expander" ] segs
+
+let lint_mli_source ?(all_rules = false) ~path src =
+  let segs = Lint.rel_segments path in
+  if not (all_rules || c003_scope segs) then Ok []
+  else begin
+    let lexbuf = Lexing.from_string src in
+    Location.init lexbuf path;
+    match Parse.interface lexbuf with
+    | exception exn -> Error (Lint.parse_error_message exn)
+    | sg ->
+      let findings = ref [] in
+      let open Parsetree in
+      let is_plain_int ct =
+        match ct.ptyp_desc with
+        | Ptyp_constr ({ txt = Longident.Lident "int"; _ }, []) -> true
+        | _ -> false
+      in
+      let is_int_array ct =
+        match ct.ptyp_desc with
+        | Ptyp_constr ({ txt = Longident.Lident "array"; _ }, [ elt ]) ->
+          is_plain_int elt
+        | _ -> false
+      in
+      let typ (self : Ast_iterator.iterator) ct =
+        (match ct.ptyp_desc with
+         | Ptyp_arrow ((Asttypes.Labelled l | Asttypes.Optional l), arg, _) ->
+           if List.mem l vertex_param_names && is_plain_int arg then
+             findings :=
+               finding_of_loc ~rule:"C003" ~file:path arg.ptyp_loc
+                 (Printf.sprintf
+                    "vertex-valued parameter ~%s is a raw int; use \
+                     Dex_graph.Vertex.local (subnetwork coordinates) or \
+                     Vertex.orig (original coordinates)"
+                    l)
+               :: !findings
+           else if l = "vertex_map" && is_int_array arg then
+             findings :=
+               finding_of_loc ~rule:"C003" ~file:path arg.ptyp_loc
+                 "vertex map parameter is a raw int array; use \
+                  Dex_graph.Vertex.Map.t"
+               :: !findings
+         | _ -> ());
+        Ast_iterator.default_iterator.typ self ct
+      in
+      let it = { Ast_iterator.default_iterator with typ } in
+      it.signature it sg;
+      Ok (suppress ~path ~src (List.rev !findings))
+  end
+
+let lint_mli_file ?all_rules path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | src -> lint_mli_source ?all_rules ~path src
