@@ -73,6 +73,12 @@ type report = {
 (** [ok report] is [true] iff no violation was recorded. *)
 val ok : report -> bool
 
+(** [default_digest s] is the structural digest {!check} uses when no
+    [?digest] is supplied ([Hashtbl.hash_param 256 256]). Exported so
+    the cross-executor equivalence suite can hash per-round state
+    arrays with the exact same function the conformance engine uses. *)
+val default_digest : 's -> int
+
 (** [check ?word_size ?max_rounds ?seed ?digest g ~protocol ()] replays
     [protocol ()] under the canonical and the seeded-permuted schedule
     and compares them. [digest] (default [Hashtbl.hash_param 256 256])

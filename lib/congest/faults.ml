@@ -118,6 +118,15 @@ let drop t ~round ~src ~dst =
 let crashed t ~round ~vertex =
   crashed_int t ~round ~vertex:(Dex_graph.Vertex.local_int vertex)
 
+let is_crashed t ~round ~vertex =
+  (* pure read: no event recording, no table mutation. The staged
+     executors call this from the (possibly domain-parallel) step
+     phase and leave the recording [crashed] call to the sequential
+     delivery phase, which replays the legacy event order. *)
+  match Hashtbl.find_opt t.crash_round (Dex_graph.Vertex.local_int vertex) with
+  | Some r -> r <= round
+  | None -> false
+
 let verdict t ~round ~src ~dst =
   let src = Dex_graph.Vertex.local_int src and dst = Dex_graph.Vertex.local_int dst in
   if link_dead t ~round ~src ~dst then drop t ~round ~src ~dst

@@ -75,6 +75,13 @@ val set_observer : t -> (fault -> unit) option -> unit
     schedule is attached to ({!Dex_graph.Vertex.local}). *)
 val crashed : t -> round:int -> vertex:Dex_graph.Vertex.local -> bool
 
+(** [is_crashed t ~round ~vertex] is {!crashed} without the recording
+    side effect: a pure read of the crash schedule. Safe to call
+    concurrently from parallel step execution; the kernel's sequential
+    delivery phase performs the recording {!crashed} calls so the
+    event trace keeps the legacy order. *)
+val is_crashed : t -> round:int -> vertex:Dex_graph.Vertex.local -> bool
+
 (** [verdict t ~round ~src ~dst] decides the fate of the message sent
     from [src] to [dst] in [round], recording the corresponding event.
     The CONGEST discipline guarantees at most one message per

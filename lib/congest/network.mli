@@ -32,7 +32,30 @@
     original-graph coordinates. Without an attached trace the kernel
     skips all of this — tracing off costs one pointer test per round. *)
 
+(** Same exception as {!Arena.Congestion_violation} (re-exported):
+    handlers written against either name catch violations raised by
+    any executor, list-based or cursor-based. *)
 exception Congestion_violation of string
+
+(** How rounds are executed. All three are observationally identical
+    on the list API (states, round counts, message/word ledgers, fault
+    traces, conformance digests) — the equivalence suite in
+    [test_kernel_equiv.ml] asserts this.
+
+    - [Legacy]: the seed kernel — interleaved step + delivery, one
+      pass over all vertices per round.
+    - [Staged]: two-phase rounds (step everything, then deliver in
+      canonical order) with reusable validation scratch; the basis
+      for the arena-backed cursor driver {!run_active}.
+    - [Parallel k]: [Staged] with Phase A sharded across [k] OCaml
+      domains ([k] total, including the caller's). Phase B stays
+      sequential, which is where all shared mutation lives. *)
+type executor = Legacy | Staged | Parallel of int
+
+(** [set_default_executor e] sets the executor used by every
+    subsequently created network that does not pass [?executor].
+    Initial default: [Staged]. *)
+val set_default_executor : executor -> unit
 
 (** Final states of a protocol that hit its round limit, with the
     element type hidden (protocol state types differ per caller). *)
@@ -58,14 +81,28 @@ type t
     ids to original-graph ids for trace and error reporting (it must
     have exactly one entry per vertex); {!Primitives.subnetwork}
     threads it automatically. The trace handle, if any, is read from
-    the ledger at creation time — attach it first. *)
+    the ledger at creation time — attach it first. [executor] defaults
+    to the process-global setting ({!set_default_executor}).
+
+    [shard_min] (default 512) is the smallest per-round stepped-vertex
+    count the [Parallel] executor will spawn domains for; narrower
+    rounds run Phase A sequentially, since a domain spawn costs far
+    more than stepping a handful of vertices. The choice only affects
+    wall-clock time, never results — the equivalence suite pins
+    [shard_min] to 0 so the sharded path is exercised even on small
+    test graphs. *)
 val create :
   ?word_size:int ->
   ?faults:Faults.t ->
   ?vertex_map:Dex_graph.Vertex.Map.t ->
+  ?executor:executor ->
+  ?shard_min:int ->
   Dex_graph.Graph.t ->
   Rounds.t ->
   t
+
+(** [executor t] is the executor this network runs on. *)
+val executor : t -> executor
 
 (** [graph t] is the underlying communication graph. *)
 val graph : t -> Dex_graph.Graph.t
@@ -110,13 +147,16 @@ type 's step =
   (int * message) list ->
   's * (int * message) list
 
-(** [run t ~label ~init ~step ~finished ?max_rounds ()] executes the
-    protocol synchronously until [finished state_array] holds at a
-    round boundary with no message still in flight, or [max_rounds]
-    (default 1_000_000) is exhausted — raising {!Round_limit_exceeded}
-    in the latter case, after charging the partial rounds to the
-    ledger. Returns the final states and the number of rounds executed;
-    the rounds are also charged to the ledger under [label]. *)
+(** [run t ~label ~init ~step ~finished ?max_rounds ?on_round ()]
+    executes the protocol synchronously until [finished state_array]
+    holds at a round boundary with no message still in flight, or
+    [max_rounds] (default 1_000_000) is exhausted — raising
+    {!Round_limit_exceeded} in the latter case, after charging the
+    partial rounds to the ledger. Returns the final states and the
+    number of rounds executed; the rounds are also charged to the
+    ledger under [label]. [on_round] is called after every executed
+    round with the round number and the (mutable) state array — the
+    equivalence suite uses it to digest per-round states. *)
 val run :
   t ->
   label:string ->
@@ -124,12 +164,60 @@ val run :
   step:'s step ->
   finished:('s array -> bool) ->
   ?max_rounds:int ->
+  ?on_round:(int -> 's array -> unit) ->
   unit ->
   's array * int
 
 (** [run_rounds t ~label ~init ~step n] runs exactly [n] rounds. *)
 val run_rounds :
-  t -> label:string -> init:(int -> 's) -> step:'s step -> int -> 's array
+  t ->
+  label:string ->
+  init:(int -> 's) ->
+  step:'s step ->
+  ?on_round:(int -> 's array -> unit) ->
+  int ->
+  's array
+
+(** {1 Cursor API}
+
+    The zero-allocation face of the kernel: inboxes and outboxes are
+    {!Arena} cursors over preallocated per-edge slots instead of
+    lists, and only {e active} vertices — those with a non-empty inbox
+    or an explicit [Arena.Outbox.wake] — are stepped each round. *)
+
+(** Per-round behaviour of one vertex, cursor form. Read the inbox
+    with [Arena.Inbox.iter1]/[iter], send with [Arena.Outbox.send1]/
+    [send]; the cursors are only valid for the duration of the call. *)
+type 's active_step =
+  round:int ->
+  vertex:Dex_graph.Vertex.local ->
+  's ->
+  Arena.inbox ->
+  Arena.outbox ->
+  's
+
+(** [run_active t ~label ~init ~step ?max_rounds ?on_round ()] drives
+    an {!active_step} protocol to quiescence: round 1 steps every
+    vertex; afterwards only vertices that received a message or woke
+    themselves are stepped, and the protocol terminates when the
+    active set empties — so termination costs O(active), not O(n),
+    and a protocol that needs stepping without traffic must [wake].
+    Rounds are charged as in {!run}; {!Round_limit_exceeded} is raised
+    when [max_rounds] (default 1_000_000) is exhausted before
+    quiescence. The arena is built lazily on first use and reused
+    across runs on the same network; under [Parallel k] the active
+    set is sharded across [k] domains with delivery merged in
+    canonical edge order, so results and traces are bit-identical to
+    the sequential executors. *)
+val run_active :
+  t ->
+  label:string ->
+  init:(int -> 's) ->
+  step:'s active_step ->
+  ?max_rounds:int ->
+  ?on_round:(int -> 's array -> unit) ->
+  unit ->
+  's array * int
 
 (** [charge t ~label k] charges [k] rounds for an accounted (not
     message-level executed) protocol phase. *)

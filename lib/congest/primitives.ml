@@ -21,26 +21,30 @@ let bfs_tree net ~root =
     if v = root then { dist = 0; par = root; pending = true }
     else { dist = max_int; par = -1; pending = false }
   in
-  let step ~round:_ ~vertex:v st inbox =
+  let step ~round:_ ~vertex:v st ib ob =
     let v = Vertex.local_int v in
     (* adopt the smallest advertised distance on first contact *)
     let st =
-      if st.dist = max_int then
-        List.fold_left
-          (fun acc (sender, msg) ->
-            let d = msg.(0) + 1 in
-            if d < acc.dist then { dist = d; par = sender; pending = true } else acc)
-          st inbox
+      if st.dist = max_int then begin
+        let best = ref st in
+        Arena.Inbox.iter1 ib (fun sender w ->
+            let d = w + 1 in
+            if d < !best.dist then best := { dist = d; par = sender; pending = true });
+        !best
+      end
       else st
     in
-    if st.pending then
-      let outbox = ref [] in
-      Graph.iter_neighbors g v (fun u -> outbox := (u, [| st.dist |]) :: !outbox);
-      ({ st with pending = false }, !outbox)
-    else (st, [])
+    if st.pending then begin
+      Graph.iter_neighbors g v (fun u ->
+          Arena.Outbox.send1 ob ~dst:(Vertex.local u) st.dist);
+      { st with pending = false }
+    end
+    else st
   in
-  let finished states = Array.for_all (fun st -> not st.pending) states in
-  let states, _rounds = Network.run net ~label:"bfs" ~init ~step ~finished () in
+  (* active-set quiescence: the wave visits each vertex once, and a
+     vertex that receives without improving sends nothing — exactly
+     the in-flight-empty termination of the legacy driver *)
+  let states, _rounds = Network.run_active net ~label:"bfs" ~init ~step () in
   let parent = Array.map (fun st -> st.par) states in
   let depth = Array.map (fun st -> st.dist) states in
   let height = Array.fold_left (fun acc d -> if d = max_int then acc else max acc d) 0 depth in
@@ -58,31 +62,20 @@ type leader_state = { best : int; fresh : bool }
 let elect_leader net =
   let g = Network.graph net in
   let init v = { best = v; fresh = true } in
-  let step ~round:_ ~vertex:v st inbox =
+  let step ~round:_ ~vertex:v st ib ob =
     let v = Vertex.local_int v in
-    let best =
-      List.fold_left (fun acc (_, msg) -> min acc msg.(0)) st.best inbox
-    in
+    let best = ref st.best in
+    Arena.Inbox.iter1 ib (fun _ w -> if w < !best then best := w);
+    let best = !best in
     let improved = best < st.best || st.fresh in
-    if improved then begin
-      let outbox = ref [] in
-      Graph.iter_neighbors g v (fun u -> outbox := (u, [| best |]) :: !outbox);
-      ({ best; fresh = false }, !outbox)
-    end
-    else ({ best; fresh = false }, [])
+    if improved then
+      Graph.iter_neighbors g v (fun u ->
+          Arena.Outbox.send1 ob ~dst:(Vertex.local u) best);
+    { best; fresh = false }
   in
-  (* a vertex re-announces only when its view improves, so quiescence
-     means the minimum has flooded each component *)
-  let changed = ref true in
-  let prev = ref [||] in
-  let finished states =
-    let snapshot = Array.map (fun st -> st.best) states in
-    let same = !prev <> [||] && snapshot = !prev in
-    prev := snapshot;
-    changed := not same;
-    same
-  in
-  let states, _ = Network.run net ~label:"leader" ~init ~step ~finished () in
+  (* a vertex re-announces only when its view improves, so active-set
+     quiescence means the minimum has flooded each component *)
+  let states, _ = Network.run_active net ~label:"leader" ~init ~step () in
   Array.map (fun st -> st.best) states
 
 let broadcast net tree ~label = Network.charge net ~label tree.height

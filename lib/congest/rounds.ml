@@ -81,7 +81,8 @@ let by_phase t =
   (* descending by cost, ties broken on label: iteration is already
      key-sorted, and bench tables must be stable across runs *)
   Dex_util.Table.fold_sorted (fun label k acc -> (label, k) :: acc) t.phases []
-  |> List.sort (fun (la, a) (lb, b) -> if a <> b then compare b a else compare la lb)
+  |> List.sort (fun (la, a) (lb, b) ->
+         if a <> b then Int.compare b a else String.compare la lb)
 
 let tree t =
   let rec freeze node =

@@ -29,6 +29,7 @@ module Trace = Dex_obs.Trace
 module Clock = Dex_obs.Clock
 module Bench_snapshot = Dex_obs.Snapshot
 module Network = Dex_congest.Network
+module Arena = Dex_congest.Arena
 module Conformance = Dex_congest.Conformance
 module Rounds = Dex_congest.Rounds
 module Primitives = Dex_congest.Primitives

@@ -109,6 +109,12 @@ let volume_of d members = Graph.volume d.current members
 (* degrees never change (removals add self-loops), so this equals the
    original-graph volume of [members] *)
 
+(* monomorphic normalized-edge comparator: these sorts run once per
+   carved cluster on edge lists proportional to cut volume, so the
+   polymorphic-compare dispatch overhead is measurable *)
+let compare_edge (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
 let cut_edges_between d inside =
   let mask = Hashtbl.create (2 * Array.length inside) in
   Array.iter (fun v -> Hashtbl.replace mask v ()) inside;
@@ -118,7 +124,7 @@ let cut_edges_between d inside =
       Graph.iter_neighbors d.current v (fun u ->
           if not (Hashtbl.mem mask u) then acc := (min u v, max u v) :: !acc))
     inside;
-  List.sort_uniq compare !acc
+  List.sort_uniq compare_edge !acc
 
 (* every non-loop edge with at least one endpoint inside — Remove-3
    isolates the carved set completely *)
@@ -129,7 +135,7 @@ let incident_edges d inside =
   Array.iter
     (fun v -> Graph.iter_neighbors d.current v (fun u -> acc := (min u v, max u v) :: !acc))
     inside;
-  List.sort_uniq compare !acc
+  List.sort_uniq compare_edge !acc
 
 let set_difference universe subset =
   let mask = Hashtbl.create (2 * Array.length subset) in

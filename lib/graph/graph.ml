@@ -47,7 +47,7 @@ let build ~n ~count_edge =
         adj.(v).(fill.(v)) <- u;
         fill.(v) <- fill.(v) + 1
       end);
-  Array.iter (fun a -> Array.sort compare a) adj;
+  Array.iter (fun a -> Array.sort Int.compare a) adj;
   { n; adj; loops; plain_m = !plain_m; loop_m = !loop_m }
 
 let of_edges ~n edges = build ~n ~count_edge:(fun f -> List.iter (fun (u, v) -> f u v) edges)
@@ -80,6 +80,28 @@ let mem_edge g u v =
     done;
     !found
   end
+
+(* CSR addressing: the concatenation of the per-vertex sorted neighbor
+   arrays is the canonical enumeration of the 2*plain_m directed edges,
+   and [off.(v) + i] is the global index ("slot") of the i-th directed
+   edge out of [v]. The CONGEST kernel's message arena allocates one
+   message slot per directed edge at exactly these indices. *)
+let csr_offsets g =
+  let off = Array.make (g.n + 1) 0 in
+  for v = 0 to g.n - 1 do
+    off.(v + 1) <- off.(v) + Array.length g.adj.(v)
+  done;
+  off
+
+let neighbor_rank g v u =
+  (* leftmost occurrence, so parallel edges map to one canonical rank *)
+  let a = g.adj.(v) in
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  if !lo < Array.length a && a.(!lo) = u then !lo else -1
 
 let iter_edges g f =
   for u = 0 to g.n - 1 do

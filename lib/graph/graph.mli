@@ -72,6 +72,29 @@ val iter_neighbors : t -> int -> (int -> unit) -> unit
     [v], or a self-loop when [u = v]. *)
 val mem_edge : t -> int -> int -> bool
 
+(** {1 CSR addressing}
+
+    The per-vertex sorted neighbor arrays, concatenated in vertex
+    order, enumerate the [2 * num_plain_edges g] directed edges of the
+    graph. This gives every directed edge [(v, adj(v).(i))] a unique
+    dense index — its {e slot} — which the CONGEST kernel's message
+    arena uses to address one preallocated message buffer per directed
+    edge. *)
+
+(** [csr_offsets g] is the length-[n + 1] prefix-sum array of plain
+    degrees: slot [csr_offsets g .(v) + i] is the i-th directed edge
+    out of [v], and [csr_offsets g .(n)] is the total directed edge
+    count. Each call builds a fresh array in O(n); callers that need
+    it repeatedly should keep it. *)
+val csr_offsets : t -> int array
+
+(** [neighbor_rank g v u] is the index of [u] in [neighbors g v]
+    (the leftmost one, under parallel edges), or [-1] when [u] is not
+    a non-loop neighbor of [v]. Logarithmic, like {!mem_edge}; the
+    returned rank is exactly the slot offset of the directed edge
+    [(v, u)] relative to [csr_offsets g .(v)]. *)
+val neighbor_rank : t -> int -> int -> int
+
 (** {1 Global iteration} *)
 
 (** [iter_edges g f] calls [f u v] once per undirected edge with

@@ -80,11 +80,11 @@ let connected_components g =
             end)
       done;
       let arr = Array.of_list !members in
-      Array.sort compare arr;
+      Array.sort Int.compare arr;
       comps := arr :: !comps
     end
   done;
-  List.sort (fun a b -> compare (Array.length b) (Array.length a)) !comps
+  List.sort (fun a b -> Int.compare (Array.length b) (Array.length a)) !comps
 
 let is_connected g =
   match connected_components g with [] | [ _ ] -> true | _ -> false

@@ -62,6 +62,28 @@ let test_d005_poly_compare () =
     (lint "let f a b = (a : Dex_graph.Graph.t) = b");
   check_rules "ints fine" [] (lint "let f a b = a = b && compare a b = 0")
 
+let test_d006_poly_sort () =
+  (* the exact defect class Graph.build shipped with: adjacency sorted
+     with a bare polymorphic compare *)
+  check_rules "Array.sort compare" [ "D006" ]
+    (lint ~path:"lib/graph/graph.ml" "let f a = Array.sort compare a");
+  check_rules "List.sort_uniq compare" [ "D006" ]
+    (lint ~path:"lib/graph/graph.ml" "let f l = List.sort_uniq compare l");
+  check_rules "qualified Stdlib.compare" [ "D006" ]
+    (lint ~path:"lib/congest/x.ml" "let f l = List.stable_sort Stdlib.compare l");
+  check_rules "monomorphic Int.compare fine" []
+    (lint ~path:"lib/graph/graph.ml" "let f a = Array.sort Int.compare a");
+  check_rules "explicit comparator fine" []
+    (lint ~path:"lib/graph/graph.ml"
+       "let f l = List.sort (fun (a, _) (b, _) -> Int.compare a b) l")
+
+let test_d006_scoped_to_kernel () =
+  let src = "let f a = Array.sort compare a" in
+  check_rules "lib/graph fires" [ "D006" ] (lint ~path:"lib/graph/x.ml" src);
+  check_rules "lib/congest fires" [ "D006" ] (lint ~path:"lib/congest/x.ml" src);
+  check_rules "lib/sparsecut exempt" [] (lint ~path:"lib/sparsecut/x.ml" src);
+  check_rules "bench exempt" [] (lint ~path:"bench/main.ml" src)
+
 (* ---------- path scoping ---------- *)
 
 let test_scope_d003_only_protocol_layers () =
@@ -278,7 +300,7 @@ let test_json_report_round_trips () =
 
 let test_rule_table_complete () =
   Alcotest.(check (list string)) "ids"
-    [ "D001"; "D002"; "D003"; "D004"; "D005" ]
+    [ "D001"; "D002"; "D003"; "D004"; "D005"; "D006" ]
     (List.map fst Lint.rules)
 
 let () =
@@ -289,7 +311,9 @@ let () =
           Alcotest.test_case "D002 ambient random" `Quick test_d002_random;
           Alcotest.test_case "D003 untyped aborts" `Quick test_d003_aborts;
           Alcotest.test_case "D004 wall clock" `Quick test_d004_wall_clock;
-          Alcotest.test_case "D005 poly compare" `Quick test_d005_poly_compare ] );
+          Alcotest.test_case "D005 poly compare" `Quick test_d005_poly_compare;
+          Alcotest.test_case "D006 poly sort" `Quick test_d006_poly_sort;
+          Alcotest.test_case "D006 kernel scoped" `Quick test_d006_scoped_to_kernel ] );
       ( "scoping",
         [ Alcotest.test_case "D003 protocol layers" `Quick
             test_scope_d003_only_protocol_layers;

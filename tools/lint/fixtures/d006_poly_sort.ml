@@ -1,0 +1,6 @@
+(* D006: bare polymorphic compare handed to a sort on a kernel hot
+   path — exactly the defect Graph.build shipped with before the CSR
+   arena work monomorphized it *)
+let sort_adjacency arr = Array.sort compare arr
+let dedupe_edges edges = List.sort_uniq compare edges
+let stable xs = List.stable_sort Stdlib.compare xs

@@ -34,7 +34,11 @@ let rules =
        bench/ and lib/obs; use Dex_obs.Clock" );
     ( "D005",
       "no polymorphic compare/=/min/max on graph or network values; \
-       compare explicit fields" ) ]
+       compare explicit fields" );
+    ( "D006",
+      "no bare polymorphic [compare] passed to Array.sort / List.sort \
+       family in lib/graph or lib/congest; use a monomorphic comparator \
+       (Int.compare, String.compare, an explicit field comparator)" ) ]
 
 (* ---------------- path scoping ---------------- *)
 
@@ -85,6 +89,10 @@ let rule_applies ~all_rules segs rule =
     (* bench/ stays sanctioned: wall-clock timing is its whole job *)
     gated segs && not (under [ "lib"; "obs" ] segs) && not (under [ "bench" ] segs)
   | "D005" -> true
+  | "D006" ->
+    (* the kernel's hot paths: a polymorphic-compare sort here costs a
+       generic-compare dispatch per element pair *)
+    under [ "lib"; "graph" ] segs || under [ "lib"; "congest" ] segs
   | _ -> false
 
 (* ---------------- suppression pragmas ---------------- *)
@@ -203,6 +211,17 @@ let graph_like_operand e =
 
 let compare_like = [ "="; "<>"; "=="; "!="; "compare"; "min"; "max" ]
 
+(* D006: the sort entry points whose comparator argument matters *)
+let sort_family = function
+  | "Array", ("sort" | "stable_sort" | "fast_sort") -> true
+  | "List", ("sort" | "stable_sort" | "sort_uniq") -> true
+  | _ -> false
+
+let bare_compare arg =
+  match Option.map strip_stdlib (lident_path arg) with
+  | Some [ "compare" ] -> true
+  | _ -> false
+
 let collect ~path ~active src_ast =
   let findings = ref [] in
   let add loc rule message =
@@ -248,14 +267,24 @@ let collect ~path ~active src_ast =
        add e.pexp_loc "D003"
          "assert false in a protocol layer; raise a typed exception \
           (Dex_util.Invariant.fail)"
-     | Pexp_apply (fn, args) when on "D005" -> (
+     | Pexp_apply (fn, args) -> (
        match Option.map strip_stdlib (lident_path fn) with
-       | Some [ op ] when List.mem op compare_like ->
+       | Some [ op ] when on "D005" && List.mem op compare_like ->
          if List.exists (fun (_, a) -> graph_like_operand a) args then
            add e.pexp_loc "D005"
              (Printf.sprintf
                 "polymorphic %s on a graph/network value; compare explicit \
                  fields instead" op)
+       | Some [ m; sfn ] when on "D006" && sort_family (m, sfn) -> (
+         match
+           List.find_opt (fun (lbl, _) -> lbl = Asttypes.Nolabel) args
+         with
+         | Some (_, cmp) when bare_compare cmp ->
+           add e.pexp_loc "D006"
+             (Printf.sprintf
+                "polymorphic compare passed to %s.%s on a kernel hot path; \
+                 use a monomorphic comparator (e.g. Int.compare)" m sfn)
+         | _ -> ())
        | _ -> ())
      | _ -> ());
     Ast_iterator.default_iterator.expr self e
